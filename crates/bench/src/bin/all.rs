@@ -1,0 +1,70 @@
+//! Reproduces the complete evaluation: every table and figure, sharing
+//! one memoized suite. `--scale test|small|paper` selects problem size;
+//! `--json <path>` additionally writes machine-readable per-run results.
+use grp_bench::json::{run_result_json, Json};
+use grp_bench::{experiments, suite::scale_from_args, Suite};
+use grp_core::Scheme;
+use grp_workloads::BenchClass;
+
+fn main() {
+    let scale = scale_from_args();
+    let mut suite = Suite::new(scale).verbose();
+    println!("GRP reproduction — full evaluation at {scale:?} scale\n");
+    // Warm the memo table in parallel: one worker per benchmark.
+    suite.precompute(
+        &suite.all_names(),
+        &[
+            grp_core::Scheme::NoPrefetch,
+            grp_core::Scheme::Stride,
+            grp_core::Scheme::Srp,
+            grp_core::Scheme::GrpFix,
+            grp_core::Scheme::GrpVar,
+            grp_core::Scheme::HwPointer,
+            grp_core::Scheme::GrpPointer,
+            grp_core::Scheme::GrpAggressive,
+            grp_core::Scheme::SrpPointer,
+            grp_core::Scheme::GrpConservative,
+            grp_core::Scheme::PerfectL1,
+            grp_core::Scheme::PerfectL2,
+        ],
+    );
+    println!("{}", experiments::figure1(&mut suite));
+    let (_, t1) = experiments::table1(&mut suite);
+    println!("{t1}");
+    println!("{}", experiments::table2());
+    println!("{}", experiments::table3(&mut suite));
+    println!("{}", experiments::figure9(&mut suite));
+    println!("{}", experiments::figure_perf(&mut suite, BenchClass::Int));
+    println!("{}", experiments::figure_perf(&mut suite, BenchClass::App));
+    println!("{}", experiments::figure_perf(&mut suite, BenchClass::Fp));
+    println!("{}", experiments::figure12(&mut suite));
+    println!("{}", experiments::table4(&mut suite));
+    println!("{}", experiments::table5(&mut suite));
+    println!("{}", experiments::table6(&mut suite));
+    println!("{}", experiments::sensitivity(&mut suite));
+    println!("{}", experiments::bandwidth_study(scale));
+
+    // Optional machine-readable dump of every (benchmark, scheme) run.
+    let args: Vec<String> = std::env::args().collect();
+    if let Some(path) = args
+        .iter()
+        .position(|a| a == "--json")
+        .and_then(|i| args.get(i + 1))
+    {
+        let mut benches = Vec::new();
+        for name in suite.all_names() {
+            let base = suite.run(name, Scheme::NoPrefetch);
+            let mut runs = Vec::new();
+            for scheme in Scheme::ALL {
+                let r = suite.run(name, scheme);
+                runs.push(run_result_json(&r, Some(&base)));
+            }
+            benches.push(Json::object().set("bench", name).set("runs", Json::Array(runs)));
+        }
+        let doc = Json::object()
+            .set("scale", format!("{scale:?}"))
+            .set("benchmarks", Json::Array(benches));
+        std::fs::write(path, doc.render()).expect("write --json output");
+        eprintln!("wrote {path}");
+    }
+}

@@ -1,0 +1,7 @@
+//! Regenerates the §5.5 bandwidth sensitivity study (art is bandwidth
+//! bound; wider channels pay).
+use grp_bench::{experiments, suite::scale_from_args};
+
+fn main() {
+    print!("{}", experiments::bandwidth_study(scale_from_args()));
+}

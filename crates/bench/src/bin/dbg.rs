@@ -1,0 +1,52 @@
+//! Per-benchmark inspection tool: prints detailed counters for every
+//! scheme on one workload. Usage:
+//! `cargo run -p grp-bench --bin dbg -- <bench> [--scale test|small|paper]`.
+use grp_bench::{suite::scale_from_args, Suite};
+use grp_core::Scheme;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let name = args
+        .get(1)
+        .filter(|a| !a.starts_with("--"))
+        .cloned()
+        .unwrap_or_else(|| "gzip".into());
+    let name: &'static str = Box::leak(name.into_boxed_str());
+    let mut suite = Suite::new(scale_from_args());
+    for s in [
+        Scheme::NoPrefetch,
+        Scheme::Stride,
+        Scheme::Srp,
+        Scheme::GrpFix,
+        Scheme::GrpVar,
+        Scheme::HwPointer,
+        Scheme::GrpPointer,
+        Scheme::PerfectL2,
+    ] {
+        let r = suite.run(name, s);
+        println!(
+            "{:>10}: cyc={:>9} ipc={:.2} l2acc={:>7} l2miss={:>7} dem={:>6} pf={:>6} wb={:>6} useful={:>6} late={:>5} acc={:.2}",
+            s.label(),
+            r.cycles,
+            r.ipc(),
+            r.l2.demand_accesses,
+            r.l2.demand_misses,
+            r.traffic.demand_blocks,
+            r.traffic.prefetch_blocks,
+            r.traffic.writeback_blocks,
+            r.l2.useful_prefetches,
+            r.late_prefetch_merges,
+            r.accuracy()
+        );
+        println!(
+            "            alloc={} drop={} cand={} ptr={} ind={} hist={:?} useless={}",
+            r.engine.entries_allocated,
+            r.engine.entries_dropped,
+            r.engine.candidates_issued,
+            r.engine.pointer_entries,
+            r.engine.indirect_entries,
+            r.engine.region_size_hist,
+            r.l2.useless_prefetches
+        );
+    }
+}

@@ -1,0 +1,25 @@
+//! Prints per-reference hint diagnostics for one benchmark: the
+//! syntactic shape, per-loop byte strides, and the derived hints.
+//! `cargo run -p grp-bench --bin explain -- <bench> [--scale …]`
+use grp_bench::suite::scale_from_args;
+use grp_compiler::{analyze, explain, AnalysisConfig};
+use grp_workloads::by_name;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let name = args
+        .get(1)
+        .filter(|a| !a.starts_with("--"))
+        .cloned()
+        .unwrap_or_else(|| "mcf".into());
+    let Some(wl) = by_name(&name) else {
+        eprintln!("unknown benchmark `{name}`");
+        std::process::exit(1);
+    };
+    let built = wl.build(scale_from_args().workload_scale());
+    let hints = analyze(&built.program, &AnalysisConfig::default());
+    println!("{name}: {}\n", wl.description);
+    for e in explain(&built.program, &hints) {
+        println!("{}", e.line());
+    }
+}

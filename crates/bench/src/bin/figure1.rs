@@ -1,0 +1,7 @@
+//! Regenerates Figure 1: realistic vs perfect-L1/L2 performance.
+use grp_bench::{experiments, suite::scale_from_args, Suite};
+
+fn main() {
+    let mut suite = Suite::new(scale_from_args()).verbose();
+    print!("{}", experiments::figure1(&mut suite));
+}

@@ -1,0 +1,8 @@
+//! Regenerates Figure 11: floating-point-benchmark IPC per scheme.
+use grp_bench::{experiments, suite::scale_from_args, Suite};
+use grp_workloads::BenchClass;
+
+fn main() {
+    let mut suite = Suite::new(scale_from_args()).verbose();
+    print!("{}", experiments::figure_perf(&mut suite, BenchClass::Fp));
+}

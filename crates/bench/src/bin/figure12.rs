@@ -1,0 +1,7 @@
+//! Regenerates Figure 12: normalized memory traffic.
+use grp_bench::{experiments, suite::scale_from_args, Suite};
+
+fn main() {
+    let mut suite = Suite::new(scale_from_args()).verbose();
+    print!("{}", experiments::figure12(&mut suite));
+}

@@ -1,0 +1,7 @@
+//! Regenerates Figure 9: pointer-prefetching-only speedups.
+use grp_bench::{experiments, suite::scale_from_args, Suite};
+
+fn main() {
+    let mut suite = Suite::new(scale_from_args()).verbose();
+    print!("{}", experiments::figure9(&mut suite));
+}

@@ -1,0 +1,7 @@
+//! Regenerates the §5.4 compiler-policy sensitivity study.
+use grp_bench::{experiments, suite::scale_from_args, Suite};
+
+fn main() {
+    let mut suite = Suite::new(scale_from_args()).verbose();
+    print!("{}", experiments::sensitivity(&mut suite));
+}

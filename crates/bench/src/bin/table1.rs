@@ -1,0 +1,8 @@
+//! Regenerates Table 1: suite-wide speedup / traffic / perfect-L2 gap.
+use grp_bench::{experiments, suite::scale_from_args, Suite};
+
+fn main() {
+    let mut suite = Suite::new(scale_from_args()).verbose();
+    let (_rows, text) = experiments::table1(&mut suite);
+    print!("{text}");
+}

@@ -1,0 +1,4 @@
+//! Prints Table 2: the hint taxonomy.
+fn main() {
+    print!("{}", grp_bench::experiments::table2());
+}

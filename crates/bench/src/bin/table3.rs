@@ -1,0 +1,7 @@
+//! Regenerates Table 3: static compiler-hint census per benchmark.
+use grp_bench::{experiments, suite::scale_from_args, Suite};
+
+fn main() {
+    let mut suite = Suite::new(scale_from_args());
+    print!("{}", experiments::table3(&mut suite));
+}

@@ -1,0 +1,7 @@
+//! Regenerates Table 4: GRP/Var vs GRP/Fix traffic + region sizes.
+use grp_bench::{experiments, suite::scale_from_args, Suite};
+
+fn main() {
+    let mut suite = Suite::new(scale_from_args()).verbose();
+    print!("{}", experiments::table4(&mut suite));
+}

@@ -1,0 +1,7 @@
+//! Regenerates Table 5: accuracy, coverage, and traffic per benchmark.
+use grp_bench::{experiments, suite::scale_from_args, Suite};
+
+fn main() {
+    let mut suite = Suite::new(scale_from_args()).verbose();
+    print!("{}", experiments::table5(&mut suite));
+}

@@ -1,0 +1,7 @@
+//! Regenerates Table 6: remaining L2 miss characteristics under GRP.
+use grp_bench::{experiments, suite::scale_from_args, Suite};
+
+fn main() {
+    let mut suite = Suite::new(scale_from_args()).verbose();
+    print!("{}", experiments::table6(&mut suite));
+}

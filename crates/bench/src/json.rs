@@ -1,0 +1,228 @@
+//! A minimal JSON emitter for machine-readable experiment results.
+//!
+//! Deliberately hand-rolled: the sanctioned dependency set has no JSON
+//! serializer, and the output grammar needed here is tiny (objects,
+//! arrays, strings, numbers, booleans).
+
+use std::fmt::Write as _;
+
+/// A JSON value under construction.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Integer (emitted without a fraction).
+    Int(i64),
+    /// Unsigned integer.
+    UInt(u64),
+    /// Float (non-finite values become `null`).
+    Float(f64),
+    /// String (escaped on render).
+    Str(String),
+    /// Ordered array.
+    Array(Vec<Json>),
+    /// Ordered object (insertion order preserved).
+    Object(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// An empty object builder.
+    pub fn object() -> Json {
+        Json::Object(Vec::new())
+    }
+
+    /// Adds a field to an object; panics on non-objects.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self` is not [`Json::Object`].
+    pub fn set(mut self, key: &str, value: impl Into<Json>) -> Json {
+        match &mut self {
+            Json::Object(fields) => fields.push((key.to_string(), value.into())),
+            _ => panic!("set() on a non-object"),
+        }
+        self
+    }
+
+    /// Renders to a compact JSON string.
+    pub fn render(&self) -> String {
+        let mut s = String::new();
+        self.write(&mut s);
+        s
+    }
+
+    fn write(&self, out: &mut String) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Int(v) => {
+                let _ = write!(out, "{v}");
+            }
+            Json::UInt(v) => {
+                let _ = write!(out, "{v}");
+            }
+            Json::Float(v) => {
+                if v.is_finite() {
+                    let _ = write!(out, "{v}");
+                } else {
+                    out.push_str("null");
+                }
+            }
+            Json::Str(s) => {
+                out.push('"');
+                for c in s.chars() {
+                    match c {
+                        '"' => out.push_str("\\\""),
+                        '\\' => out.push_str("\\\\"),
+                        '\n' => out.push_str("\\n"),
+                        '\r' => out.push_str("\\r"),
+                        '\t' => out.push_str("\\t"),
+                        c if (c as u32) < 0x20 => {
+                            let _ = write!(out, "\\u{:04x}", c as u32);
+                        }
+                        c => out.push(c),
+                    }
+                }
+                out.push('"');
+            }
+            Json::Array(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write(out);
+                }
+                out.push(']');
+            }
+            Json::Object(fields) => {
+                out.push('{');
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    Json::Str(k.clone()).write(out);
+                    out.push(':');
+                    v.write(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+}
+
+impl From<bool> for Json {
+    fn from(v: bool) -> Self {
+        Json::Bool(v)
+    }
+}
+impl From<i64> for Json {
+    fn from(v: i64) -> Self {
+        Json::Int(v)
+    }
+}
+impl From<u64> for Json {
+    fn from(v: u64) -> Self {
+        Json::UInt(v)
+    }
+}
+impl From<u32> for Json {
+    fn from(v: u32) -> Self {
+        Json::UInt(v as u64)
+    }
+}
+impl From<f64> for Json {
+    fn from(v: f64) -> Self {
+        Json::Float(v)
+    }
+}
+impl From<&str> for Json {
+    fn from(v: &str) -> Self {
+        Json::Str(v.to_string())
+    }
+}
+impl From<String> for Json {
+    fn from(v: String) -> Self {
+        Json::Str(v)
+    }
+}
+impl From<Vec<Json>> for Json {
+    fn from(v: Vec<Json>) -> Self {
+        Json::Array(v)
+    }
+}
+
+/// Serializes one [`grp_core::RunResult`] (plus its baseline-relative
+/// metrics when `base` is given).
+pub fn run_result_json(r: &grp_core::RunResult, base: Option<&grp_core::RunResult>) -> Json {
+    let mut j = Json::object()
+        .set("scheme", r.scheme.label())
+        .set("cycles", r.cycles)
+        .set("instructions", r.instructions)
+        .set("ipc", r.ipc())
+        .set("l2_demand_accesses", r.l2.demand_accesses)
+        .set("l2_demand_misses", r.l2.demand_misses)
+        .set("prefetches_issued", r.prefetches_issued)
+        .set("useful_prefetches", r.l2.useful_prefetches)
+        .set("late_prefetch_merges", r.late_prefetch_merges)
+        .set("accuracy", r.accuracy())
+        .set(
+            "traffic_blocks",
+            Json::object()
+                .set("demand", r.traffic.demand_blocks)
+                .set("prefetch", r.traffic.prefetch_blocks)
+                .set("writeback", r.traffic.writeback_blocks)
+                .set("total", r.traffic.total_blocks()),
+        );
+    if let Some(b) = base {
+        j = j
+            .set("speedup", r.speedup_vs(b))
+            .set("coverage", r.coverage_vs(b))
+            .set("traffic_normalized", r.traffic_vs(b));
+    }
+    j
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_render() {
+        assert_eq!(Json::Null.render(), "null");
+        assert_eq!(Json::Bool(true).render(), "true");
+        assert_eq!(Json::Int(-3).render(), "-3");
+        assert_eq!(Json::UInt(7).render(), "7");
+        assert_eq!(Json::Float(1.5).render(), "1.5");
+        assert_eq!(Json::Float(f64::NAN).render(), "null");
+    }
+
+    #[test]
+    fn strings_escape() {
+        assert_eq!(
+            Json::Str("a\"b\\c\nd".into()).render(),
+            r#""a\"b\\c\nd""#
+        );
+        assert_eq!(Json::Str("\u{1}".into()).render(), "\"\\u0001\"");
+    }
+
+    #[test]
+    fn nested_structures_render_in_order() {
+        let j = Json::object()
+            .set("name", "swim")
+            .set("values", Json::Array(vec![Json::Int(1), Json::Int(2)]))
+            .set("inner", Json::object().set("x", 1.25));
+        assert_eq!(
+            j.render(),
+            r#"{"name":"swim","values":[1,2],"inner":{"x":1.25}}"#
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "non-object")]
+    fn set_on_array_panics() {
+        let _ = Json::Array(vec![]).set("k", 1i64);
+    }
+}

@@ -1,0 +1,19 @@
+//! Experiment harness: regenerates every table and figure of the paper's
+//! evaluation (Section 5).
+//!
+//! The [`suite::Suite`] runner memoizes `(benchmark, scheme)` simulation
+//! results so the tables share work; each `experiments::*` function
+//! returns structured rows, and [`report`] renders them in the paper's
+//! layout. The `src/bin/` binaries print one table or figure each
+//! (`cargo run -p grp-bench --bin table1 -- --scale small`), and
+//! `--bin all` reproduces the whole evaluation into `EXPERIMENTS`-style
+//! output.
+
+#![deny(missing_docs)]
+
+pub mod experiments;
+pub mod json;
+pub mod report;
+pub mod suite;
+
+pub use suite::{Suite, SuiteScale};

@@ -1,0 +1,222 @@
+//! Memoizing suite runner: one simulation per `(benchmark, scheme)`.
+
+use std::collections::HashMap;
+
+use grp_core::{RunResult, Scheme, SimConfig};
+use grp_workloads::{all, BuiltWorkload, Scale, Workload};
+
+/// Problem-size selection for a whole experiment run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SuiteScale {
+    /// Tiny (CI / unit tests).
+    Test,
+    /// Reduced (minutes for the full evaluation).
+    #[default]
+    Small,
+    /// Full size (tens of minutes).
+    Paper,
+}
+
+impl SuiteScale {
+    /// The per-workload scale this suite scale implies.
+    pub fn workload_scale(self) -> Scale {
+        match self {
+            SuiteScale::Test => Scale::Test,
+            SuiteScale::Small => Scale::Small,
+            SuiteScale::Paper => Scale::Paper,
+        }
+    }
+
+    /// Parses `test` / `small` / `paper`.
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "test" => Some(SuiteScale::Test),
+            "small" => Some(SuiteScale::Small),
+            "paper" => Some(SuiteScale::Paper),
+            _ => None,
+        }
+    }
+}
+
+/// Parses `--scale <s>` from argv, defaulting to `Small`.
+pub fn scale_from_args() -> SuiteScale {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == "--scale")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|s| SuiteScale::parse(s))
+        .unwrap_or_default()
+}
+
+/// Memoizing runner over the benchmark registry.
+pub struct Suite {
+    scale: SuiteScale,
+    cfg: SimConfig,
+    built: HashMap<&'static str, BuiltWorkload>,
+    results: HashMap<(&'static str, Scheme), RunResult>,
+    verbose: bool,
+}
+
+impl Suite {
+    /// A suite at `scale` with the paper's platform configuration.
+    pub fn new(scale: SuiteScale) -> Self {
+        Self {
+            scale,
+            cfg: SimConfig::paper(),
+            built: HashMap::new(),
+            results: HashMap::new(),
+            verbose: false,
+        }
+    }
+
+    /// Enables progress logging to stderr.
+    pub fn verbose(mut self) -> Self {
+        self.verbose = true;
+        self
+    }
+
+    /// Overrides the platform configuration (ablations).
+    pub fn with_config(mut self, cfg: SimConfig) -> Self {
+        self.cfg = cfg;
+        self
+    }
+
+    /// The platform configuration in use.
+    pub fn config(&self) -> &SimConfig {
+        &self.cfg
+    }
+
+    /// The benchmark registry entry for `name`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the name is unknown.
+    pub fn workload(&self, name: &str) -> &'static Workload {
+        grp_workloads::by_name(name).unwrap_or_else(|| panic!("unknown workload {name}"))
+    }
+
+    /// The built (setup-complete) workload, building it on first use.
+    pub fn built(&mut self, name: &'static str) -> &BuiltWorkload {
+        let scale = self.scale.workload_scale();
+        self.built
+            .entry(name)
+            .or_insert_with(|| grp_workloads::by_name(name).expect("registered").build(scale))
+    }
+
+    /// Runs (or recalls) `name` under `scheme`.
+    pub fn run(&mut self, name: &'static str, scheme: Scheme) -> RunResult {
+        if let Some(r) = self.results.get(&(name, scheme)) {
+            return r.clone();
+        }
+        if self.verbose {
+            eprintln!("  running {name} / {scheme}…");
+        }
+        let cfg = self.cfg;
+        let r = self.built(name).run(scheme, &cfg);
+        self.results.insert((name, scheme), r.clone());
+        r
+    }
+
+    /// Pre-computes `(benchmark, scheme)` results in parallel across OS
+    /// threads (one worker per benchmark; schemes run sequentially within
+    /// a worker so each built workload is reused). Subsequent
+    /// [`Suite::run`] calls hit the memo table.
+    pub fn precompute(&mut self, names: &[&'static str], schemes: &[Scheme]) {
+        let scale = self.scale.workload_scale();
+        let cfg = self.cfg;
+        let verbose = self.verbose;
+        let threads = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4)
+            .min(names.len().max(1));
+        let work: std::sync::Mutex<Vec<&'static str>> =
+            std::sync::Mutex::new(names.to_vec());
+        let results: std::sync::Mutex<Vec<(&'static str, Scheme, RunResult)>> =
+            std::sync::Mutex::new(Vec::new());
+        std::thread::scope(|s| {
+            for _ in 0..threads {
+                s.spawn(|| loop {
+                    let Some(name) = work.lock().expect("work queue").pop() else {
+                        return;
+                    };
+                    if verbose {
+                        eprintln!("  [precompute] {name}…");
+                    }
+                    let built = grp_workloads::by_name(name).expect("registered").build(scale);
+                    for scheme in schemes {
+                        let r = built.run(*scheme, &cfg);
+                        results
+                            .lock()
+                            .expect("results")
+                            .push((name, *scheme, r));
+                    }
+                });
+            }
+        });
+        for (name, scheme, r) in results.into_inner().expect("results") {
+            self.results.insert((name, scheme), r);
+        }
+    }
+
+    /// Names of the performance-figure benchmarks (crafty excluded).
+    pub fn perf_names(&self) -> Vec<&'static str> {
+        grp_workloads::perf_set().iter().map(|w| w.name).collect()
+    }
+
+    /// All registry names (Table 3 includes crafty).
+    pub fn all_names(&self) -> Vec<&'static str> {
+        all().iter().map(|w| w.name).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scale_parsing() {
+        assert_eq!(SuiteScale::parse("test"), Some(SuiteScale::Test));
+        assert_eq!(SuiteScale::parse("small"), Some(SuiteScale::Small));
+        assert_eq!(SuiteScale::parse("paper"), Some(SuiteScale::Paper));
+        assert_eq!(SuiteScale::parse("big"), None);
+        assert_eq!(SuiteScale::Test.workload_scale(), Scale::Test);
+    }
+
+    #[test]
+    fn suite_memoizes_runs() {
+        let mut s = Suite::new(SuiteScale::Test);
+        let a = s.run("crafty", Scheme::NoPrefetch);
+        let b = s.run("crafty", Scheme::NoPrefetch);
+        assert_eq!(a.cycles, b.cycles);
+        assert_eq!(s.results.len(), 1);
+    }
+
+    #[test]
+    fn precompute_fills_the_memo_table() {
+        let mut s = Suite::new(SuiteScale::Test);
+        s.precompute(&["crafty", "sphinx"], &[Scheme::NoPrefetch, Scheme::PerfectL2]);
+        assert_eq!(s.results.len(), 4);
+        // A later run() must not recompute (results are identical objects).
+        let r = s.run("crafty", Scheme::NoPrefetch);
+        assert!(r.cycles > 0);
+    }
+
+    #[test]
+    fn precompute_matches_sequential_run() {
+        let mut a = Suite::new(SuiteScale::Test);
+        a.precompute(&["twolf"], &[Scheme::GrpVar]);
+        let ra = a.run("twolf", Scheme::GrpVar);
+        let mut b = Suite::new(SuiteScale::Test);
+        let rb = b.run("twolf", Scheme::GrpVar);
+        assert_eq!(ra.cycles, rb.cycles);
+        assert_eq!(ra.traffic.total_blocks(), rb.traffic.total_blocks());
+    }
+
+    #[test]
+    fn name_lists() {
+        let s = Suite::new(SuiteScale::Test);
+        assert_eq!(s.all_names().len(), 18);
+        assert_eq!(s.perf_names().len(), 17);
+        assert!(!s.perf_names().contains(&"crafty"));
+    }
+}

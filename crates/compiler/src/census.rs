@@ -1,0 +1,173 @@
+//! Static hint census — the data behind the paper's Table 3.
+//!
+//! Table 3 reports, per benchmark: total static memory reference
+//! instructions, the number marked `spatial`, `pointer`, and `recursive`,
+//! the fraction of memory operations with hints, and the number of
+//! indirect prefetch instructions.
+
+use grp_ir::{HintMap, Program};
+
+/// Per-program static hint counts.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HintCensus {
+    /// Program name.
+    pub name: String,
+    /// Total static memory reference sites.
+    pub mem_refs: u32,
+    /// Sites marked `spatial`.
+    pub spatial: u32,
+    /// Sites marked `pointer`.
+    pub pointer: u32,
+    /// Sites marked `recursive pointer`.
+    pub recursive: u32,
+    /// Sites with a variable-size coefficient.
+    pub sized: u32,
+    /// Indirect prefetch directives.
+    pub indirect: u32,
+    /// Sites with at least one hint (precomputed).
+    pub hinted_count: u32,
+}
+
+impl HintCensus {
+    /// Fraction of static memory references carrying any hint
+    /// (Table 3's "ratio" column).
+    pub fn hinted_ratio(&self) -> f64 {
+        if self.mem_refs == 0 {
+            return 0.0;
+        }
+        let hinted = self.hinted();
+        hinted as f64 / self.mem_refs as f64
+    }
+
+    /// Number of sites with at least one hint.
+    pub fn hinted(&self) -> u32 {
+        self.hinted_count
+    }
+
+    #[doc(hidden)]
+    pub fn row(&self) -> String {
+        format!(
+            "{:<12} {:>9} {:>8} {:>8} {:>10} {:>9.1} {:>9}",
+            self.name,
+            self.mem_refs,
+            self.spatial,
+            self.pointer,
+            self.recursive,
+            self.hinted_ratio() * 100.0,
+            self.indirect
+        )
+    }
+}
+
+/// Counts hints over a compiled program.
+pub fn census(prog: &Program, hints: &HintMap) -> HintCensus {
+    let mut spatial = 0;
+    let mut pointer = 0;
+    let mut recursive = 0;
+    let mut sized = 0;
+    let mut hinted = 0;
+    for r in 0..prog.num_refs {
+        let h = hints.hint(grp_cpu::RefId(r));
+        if h.spatial() {
+            spatial += 1;
+        }
+        if h.pointer() {
+            pointer += 1;
+        }
+        if h.recursive() {
+            recursive += 1;
+        }
+        if h.size_coeff().is_some() {
+            sized += 1;
+        }
+        if !h.is_empty() {
+            hinted += 1;
+        }
+    }
+    HintCensus {
+        name: prog.name.clone(),
+        mem_refs: prog.num_refs,
+        spatial,
+        pointer,
+        recursive,
+        sized,
+        indirect: hints.indirect_count() as u32,
+        hinted_count: hinted,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{analyze, AnalysisConfig};
+    use grp_ir::build::*;
+    use grp_ir::types::field;
+    use grp_ir::{ElemTy, FieldId, ProgramBuilder};
+
+    #[test]
+    fn census_counts_mixed_program() {
+        let mut pb = ProgramBuilder::new("mixed");
+        let sid = pb.peek_struct_id();
+        let node = pb.add_struct(
+            "n",
+            vec![field("next", ElemTy::ptr_to(sid)), field("v", ElemTy::F64)],
+        );
+        let a = pb.array("a", ElemTy::F64, &[4096]);
+        let i = pb.var("i");
+        let p = pb.var("p");
+        let s = pb.var("s");
+        let prog = pb.finish(vec![
+            for_(
+                i,
+                c(0),
+                c(4096),
+                1,
+                vec![assign(s, add(var(s), load(arr(a, vec![var(i)]))))],
+            ),
+            while_(
+                ne(var(p), c(0)),
+                vec![
+                    assign(s, add(var(s), load(fld(var(p), node, FieldId(1))))),
+                    assign(p, load(fld(var(p), node, FieldId(0)))),
+                ],
+            ),
+        ]);
+        let h = analyze(&prog, &AnalysisConfig::default());
+        let cs = census(&prog, &h);
+        assert_eq!(cs.mem_refs, 3);
+        assert_eq!(cs.spatial, 1);
+        assert_eq!(cs.pointer, 2);
+        assert_eq!(cs.recursive, 1);
+        assert_eq!(cs.sized, 1, "singly nested array loop gets a coefficient");
+        assert_eq!(cs.indirect, 0);
+        assert_eq!(cs.hinted(), 3);
+        assert!((cs.hinted_ratio() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_program_census() {
+        let pb = ProgramBuilder::new("empty");
+        let prog = pb.finish(vec![]);
+        let h = analyze(&prog, &AnalysisConfig::default());
+        let cs = census(&prog, &h);
+        assert_eq!(cs.mem_refs, 0);
+        assert_eq!(cs.hinted_ratio(), 0.0);
+    }
+
+    #[test]
+    fn row_formats_without_panicking() {
+        let cs = HintCensus {
+            name: "x".into(),
+            mem_refs: 10,
+            spatial: 4,
+            pointer: 2,
+            recursive: 1,
+            sized: 1,
+            indirect: 1,
+            hinted_count: 5,
+        };
+        let r = cs.row();
+        assert!(r.contains('x'));
+        assert!(r.contains("50.0"));
+    }
+}

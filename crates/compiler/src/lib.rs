@@ -1,0 +1,76 @@
+//! Compiler analyses generating GRP prefetch hints.
+//!
+//! This crate reproduces Section 4 of the paper — the Scale compiler
+//! passes that derive the five hint classes from source structure:
+//!
+//! * [`spatial`] — spatial locality for arrays (dependence-style stride
+//!   analysis + reuse-distance estimation, §4.1) and for pointer
+//!   dereferences (induction-pointer recognition + hint propagation,
+//!   §4.2; Figure 7's algorithm).
+//! * [`mod@pointer`] — `pointer` and `recursive pointer` hints (Figure 8's
+//!   algorithm, §4.5), including the heap-array-of-pointers rule.
+//! * [`indirect`] — `a[b[i]]` detection generating indirect-prefetch
+//!   directives (§4.3).
+//! * [`varsize`] — variable-size region coefficients and loop-bound
+//!   marking for singly nested loops (§4.4).
+//!
+//! The entry point is [`analyze`], which runs every enabled pass and
+//! returns the [`grp_ir::HintMap`] the interpreter attaches to the trace.
+//! [`policy::SpatialPolicy`] selects between the paper's default,
+//! aggressive, and conservative spatial-marking policies (§5.4).
+//!
+//! # Example
+//!
+//! ```
+//! use grp_compiler::{analyze, AnalysisConfig};
+//! use grp_ir::build::*;
+//! use grp_ir::{ElemTy, ProgramBuilder};
+//!
+//! let mut pb = ProgramBuilder::new("stream");
+//! let a = pb.array("a", ElemTy::F64, &[1024]);
+//! let i = pb.var("i");
+//! let s = pb.var("s");
+//! let prog = pb.finish(vec![for_(i, c(0), c(1024), 1, vec![
+//!     assign(s, add(var(s), load(arr(a, vec![var(i)])))),
+//! ])]);
+//! let hints = analyze(&prog, &AnalysisConfig::default());
+//! // The streaming load is marked spatial.
+//! assert!(hints.iter_hinted().any(|(_, h)| h.spatial()));
+//! ```
+
+#![deny(missing_docs)]
+
+pub mod census;
+pub mod explain;
+pub mod indirect;
+pub mod model;
+pub mod pointer;
+pub mod policy;
+pub mod spatial;
+pub mod varsize;
+
+pub use census::{census, HintCensus};
+pub use explain::{explain, RefExplanation};
+pub use policy::{AnalysisConfig, SpatialPolicy};
+
+use grp_ir::{HintMap, Program};
+
+/// Runs every enabled analysis pass over `prog`, producing the hint map
+/// the interpreter attaches to trace events.
+pub fn analyze(prog: &Program, cfg: &AnalysisConfig) -> HintMap {
+    let model = model::ProgramModel::build(prog);
+    let mut hints = HintMap::sized(prog.num_refs, prog.num_loops);
+    if cfg.spatial {
+        spatial::mark_spatial(&model, cfg, &mut hints);
+    }
+    if cfg.pointer {
+        pointer::mark_pointers(&model, cfg, &mut hints);
+    }
+    if cfg.indirect {
+        indirect::mark_indirect(&model, cfg, &mut hints);
+    }
+    if cfg.varsize {
+        varsize::mark_variable_regions(&model, cfg, &mut hints);
+    }
+    hints
+}

@@ -1,0 +1,233 @@
+//! Pointer and recursive-pointer hints (paper §4.5, Figure 8).
+//!
+//! Three rules:
+//!
+//! 1. A field access is marked `pointer` when a pointer field of the same
+//!    structure is accessed in the same loop — the structure plausibly
+//!    links onward, so scanning its cache line for addresses pays off.
+//! 2. A field access that updates a recurrent pointer (`a = a->next`
+//!    where `next` points to the same structure type, Figure 6) is marked
+//!    `recursive pointer`, seeding the engine's deeper chase counter.
+//! 3. A spatial array reference to a heap array of pointers is marked
+//!    `pointer` (Figure 4: each `buf[i]` points at a heap row worth
+//!    prefetching).
+
+use std::collections::{HashMap, HashSet};
+
+use grp_ir::{HintMap, MemRef, StructId};
+
+use crate::model::{ProgramModel, RefSite};
+use crate::policy::AnalysisConfig;
+
+/// Runs the pointer pass. Must run after the spatial pass (rule 3 keys
+/// off spatial marks).
+pub fn mark_pointers(model: &ProgramModel<'_>, _cfg: &AnalysisConfig, hints: &mut HintMap) {
+    // Per loop, which structures have a pointer-typed field accessed?
+    let mut loop_structs_with_ptr_access: HashMap<usize, HashSet<StructId>> = HashMap::new();
+    for site in &model.refs {
+        if let MemRef::Field { strct, field, .. } = site.mr {
+            let decl = model.prog.strct(*strct);
+            if decl.field_ty(*field).is_pointer() {
+                for &uid in &site.loop_path {
+                    loop_structs_with_ptr_access
+                        .entry(uid)
+                        .or_default()
+                        .insert(*strct);
+                }
+            }
+        }
+    }
+
+    // Rule 1: mark field accesses in loops where the same structure's
+    // pointer field is also accessed.
+    for site in &model.refs {
+        if let MemRef::Field { strct, .. } = site.mr {
+            if !model.prog.strct(*strct).has_pointer_field() {
+                continue;
+            }
+            let in_ptr_loop = site.loop_path.iter().any(|uid| {
+                loop_structs_with_ptr_access
+                    .get(uid)
+                    .is_some_and(|s| s.contains(strct))
+            });
+            if in_ptr_loop {
+                hints.add_pointer(site.ref_id);
+            }
+        }
+    }
+
+    // Rule 2: recurrent pointer updates are recursive.
+    for upd in &model.updates {
+        for ref_id in upd.recurrent.values() {
+            hints.add_recursive(*ref_id);
+        }
+    }
+
+    // Rule 3: spatial references to heap arrays of pointers.
+    for site in &model.refs {
+        if let MemRef::Array { array, .. } = site.mr {
+            let decl = model.prog.array(*array);
+            if decl.heap && decl.elem.is_pointer() && hints.hint(site.ref_id).spatial() {
+                hints.add_pointer(site.ref_id);
+            }
+        }
+    }
+}
+
+/// Convenience: true when `site` is a field access to a structure with
+/// pointer fields (used by tests and diagnostics).
+pub fn is_linked_structure_access(model: &ProgramModel<'_>, site: &RefSite<'_>) -> bool {
+    matches!(site.mr, MemRef::Field { strct, .. }
+        if model.prog.strct(*strct).has_pointer_field())
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::analyze;
+    use crate::policy::AnalysisConfig;
+    use grp_cpu::RefId;
+    use grp_ir::build::*;
+    use grp_ir::types::field;
+    use grp_ir::{ElemTy, FieldId, ProgramBuilder};
+
+    fn cfg() -> AnalysisConfig {
+        AnalysisConfig::default()
+    }
+
+    #[test]
+    fn list_traversal_gets_pointer_and_recursive() {
+        let mut pb = ProgramBuilder::new("t");
+        let sid = pb.peek_struct_id();
+        let node = pb.add_struct(
+            "n",
+            vec![field("next", ElemTy::ptr_to(sid)), field("v", ElemTy::F64)],
+        );
+        let p = pb.var("p");
+        let s = pb.var("s");
+        let prog = pb.finish(vec![while_(
+            ne(var(p), c(0)),
+            vec![
+                assign(s, add(var(s), load(fld(var(p), node, FieldId(1))))),
+                assign(p, load(fld(var(p), node, FieldId(0)))),
+            ],
+        )]);
+        let h = analyze(&prog, &cfg());
+        // RefId(0) = p->v, RefId(1) = p->next.
+        assert!(h.hint(RefId(0)).pointer(), "value access marked pointer");
+        assert!(h.hint(RefId(1)).pointer());
+        assert!(h.hint(RefId(1)).recursive(), "next-update marked recursive");
+        assert!(!h.hint(RefId(0)).recursive());
+    }
+
+    #[test]
+    fn struct_without_pointer_fields_is_unmarked() {
+        let mut pb = ProgramBuilder::new("t");
+        let node = pb.add_struct("plain", vec![field("x", ElemTy::F64)]);
+        let p = pb.var("p");
+        let e = pb.var("e");
+        let s = pb.var("s");
+        let prog = pb.finish(vec![while_(
+            lt(var(p), var(e)),
+            vec![
+                assign(s, load(fld(var(p), node, FieldId(0)))),
+                assign(p, add(var(p), c(8))),
+            ],
+        )]);
+        let h = analyze(&prog, &cfg());
+        assert!(!h.hint(RefId(0)).pointer());
+        assert!(!h.hint(RefId(0)).recursive());
+    }
+
+    #[test]
+    fn pointer_field_access_without_update_is_pointer_not_recursive() {
+        // Tree-ish: visits child pointers but the loop variable is not a
+        // recurrent self-update of the same variable.
+        let mut pb = ProgramBuilder::new("t");
+        let sid = pb.peek_struct_id();
+        let node = pb.add_struct(
+            "n",
+            vec![
+                field("left", ElemTy::ptr_to(sid)),
+                field("key", ElemTy::I64),
+            ],
+        );
+        let p = pb.var("p");
+        let q = pb.var("q");
+        let i = pb.var("i");
+        let prog = pb.finish(vec![for_(
+            i,
+            c(0),
+            c(8),
+            1,
+            vec![
+                assign(q, load(fld(var(p), node, FieldId(0)))),
+                assign(p, var(q)),
+            ],
+        )]);
+        let h = analyze(&prog, &cfg());
+        assert!(h.hint(RefId(0)).pointer());
+        // `q = p->left; p = q` is not the direct self-update idiom.
+        assert!(!h.hint(RefId(0)).recursive());
+    }
+
+    #[test]
+    fn spatial_heap_pointer_array_marked_pointer() {
+        let mut pb = ProgramBuilder::new("t");
+        let buf = pb.heap_array("buf", ElemTy::ptr(), &[256]);
+        let i = pb.var("i");
+        let s = pb.var("s");
+        let prog = pb.finish(vec![for_(
+            i,
+            c(0),
+            c(256),
+            1,
+            vec![assign(s, load(arr(buf, vec![var(i)])))],
+        )]);
+        let h = analyze(&prog, &cfg());
+        let hint = h.hint(RefId(0));
+        assert!(hint.spatial());
+        assert!(hint.pointer(), "heap array of pointers: spatial + pointer");
+    }
+
+    #[test]
+    fn non_heap_pointer_array_not_marked_pointer() {
+        let mut pb = ProgramBuilder::new("t");
+        let tbl = pb.array("tbl", ElemTy::ptr(), &[256]); // static table
+        let i = pb.var("i");
+        let s = pb.var("s");
+        let prog = pb.finish(vec![for_(
+            i,
+            c(0),
+            c(256),
+            1,
+            vec![assign(s, load(arr(tbl, vec![var(i)])))],
+        )]);
+        let h = analyze(&prog, &cfg());
+        assert!(h.hint(RefId(0)).spatial());
+        assert!(!h.hint(RefId(0)).pointer());
+    }
+
+    #[test]
+    fn pointer_pass_can_be_disabled() {
+        let mut pb = ProgramBuilder::new("t");
+        let sid = pb.peek_struct_id();
+        let node = pb.add_struct(
+            "n",
+            vec![field("next", ElemTy::ptr_to(sid)), field("v", ElemTy::F64)],
+        );
+        let p = pb.var("p");
+        let s = pb.var("s");
+        let prog = pb.finish(vec![while_(
+            ne(var(p), c(0)),
+            vec![
+                assign(s, load(fld(var(p), node, FieldId(1)))),
+                assign(p, load(fld(var(p), node, FieldId(0)))),
+            ],
+        )]);
+        let mut c = cfg();
+        c.pointer = false;
+        let h = analyze(&prog, &c);
+        assert!(!h.hint(RefId(0)).pointer());
+        assert!(!h.hint(RefId(1)).recursive());
+    }
+}

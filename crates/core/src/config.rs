@@ -1,0 +1,232 @@
+//! Simulation configuration and the experiment schemes.
+
+use grp_compiler::AnalysisConfig;
+use grp_cpu::WindowConfig;
+use grp_mem::{CacheConfig, DramConfig};
+
+/// Cache-idealization modes used by Figure 1's bounding bars.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum IdealMode {
+    /// Realistic memory hierarchy.
+    #[default]
+    None,
+    /// Every memory access hits in L1 (perfect L1).
+    PerfectL1,
+    /// Every L2 access hits (perfect L2); L1 behaves normally.
+    PerfectL2,
+}
+
+/// How the prefetch engine reacts to hints and misses — one row of the
+/// paper's comparison.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Scheme {
+    /// No prefetching (the normalization baseline).
+    NoPrefetch,
+    /// Predictor-directed stride stream buffers (Sherwood et al.), no
+    /// compiler support.
+    Stride,
+    /// Scheduled region prefetching (Lin et al.): 4 KB regions on every
+    /// L2 miss, no compiler support.
+    Srp,
+    /// GRP with fixed-size (4 KB) regions: all hints except `size`.
+    GrpFix,
+    /// GRP with variable-size regions: the full design.
+    GrpVar,
+    /// Hardware pointer prefetching alone (§3.2; Figure 9): scan every
+    /// returned miss line for heap addresses, no hints, no regions.
+    HwPointer,
+    /// SRP and hardware pointer prefetching together (§5.2: "applying
+    /// SRP and pointer prefetching together gives little benefit and
+    /// sometimes degrades the performance due to much higher bandwidth
+    /// consumption").
+    SrpPointer,
+    /// Pointer prefetching gated by `pointer`/`recursive` hints only
+    /// (Figure 9's GRP-with-pointer-hints discussion): no region engine.
+    GrpPointer,
+    /// GRP/Var with the §5.4 aggressive spatial policy.
+    GrpAggressive,
+    /// GRP/Var with the §5.4 conservative spatial policy.
+    GrpConservative,
+    /// Ideal L1 (Figure 1 upper bound).
+    PerfectL1,
+    /// Ideal L2 (the paper's headline comparison point).
+    PerfectL2,
+}
+
+impl Scheme {
+    /// All schemes in the paper's usual presentation order.
+    pub const ALL: [Scheme; 12] = [
+        Scheme::NoPrefetch,
+        Scheme::Stride,
+        Scheme::Srp,
+        Scheme::GrpFix,
+        Scheme::GrpVar,
+        Scheme::HwPointer,
+        Scheme::SrpPointer,
+        Scheme::GrpPointer,
+        Scheme::GrpAggressive,
+        Scheme::GrpConservative,
+        Scheme::PerfectL1,
+        Scheme::PerfectL2,
+    ];
+
+    /// The compiler configuration whose hints this scheme's *trace* must
+    /// carry; `None` means hints are irrelevant (an empty hint map — the
+    /// engine is hint-blind anyway).
+    pub fn compiler_config(self) -> Option<AnalysisConfig> {
+        match self {
+            Scheme::GrpFix => Some(AnalysisConfig::grp_fix()),
+            Scheme::GrpVar => Some(AnalysisConfig::grp_var()),
+            // Pointer-hints-only GRP still runs the spatial *analysis*:
+            // Figure 8's rule 3 marks spatial heap-pointer arrays as
+            // `pointer`, so the spatial pass must execute even though the
+            // engine ignores spatial hints in this configuration.
+            Scheme::GrpPointer => Some(AnalysisConfig {
+                indirect: false,
+                varsize: false,
+                ..AnalysisConfig::default()
+            }),
+            Scheme::GrpAggressive => Some(AnalysisConfig::aggressive()),
+            Scheme::GrpConservative => Some(AnalysisConfig::conservative()),
+            _ => None,
+        }
+    }
+
+    /// The cache idealization this scheme runs under.
+    pub fn ideal_mode(self) -> IdealMode {
+        match self {
+            Scheme::PerfectL1 => IdealMode::PerfectL1,
+            Scheme::PerfectL2 => IdealMode::PerfectL2,
+            _ => IdealMode::None,
+        }
+    }
+
+    /// Short display label.
+    pub fn label(self) -> &'static str {
+        match self {
+            Scheme::NoPrefetch => "none",
+            Scheme::Stride => "stride",
+            Scheme::Srp => "SRP",
+            Scheme::GrpFix => "GRP/Fix",
+            Scheme::GrpVar => "GRP/Var",
+            Scheme::HwPointer => "hw-ptr",
+            Scheme::SrpPointer => "SRP+ptr",
+            Scheme::GrpPointer => "GRP-ptr",
+            Scheme::GrpAggressive => "GRP/aggr",
+            Scheme::GrpConservative => "GRP/cons",
+            Scheme::PerfectL1 => "perfect-L1",
+            Scheme::PerfectL2 => "perfect-L2",
+        }
+    }
+}
+
+impl std::fmt::Display for Scheme {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Full platform configuration — defaults reproduce the paper's §5.1
+/// machine.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SimConfig {
+    /// Core window geometry (4-wide, 64-entry RUU).
+    pub window: WindowConfig,
+    /// L1 data cache (64 KB 2-way).
+    pub l1: CacheConfig,
+    /// Unified L2 (1 MB 4-way).
+    pub l2: CacheConfig,
+    /// L1 hit latency in cycles (paper: 3).
+    pub l1_latency: u64,
+    /// L2 hit latency in cycles beyond L1 (paper: 12).
+    pub l2_latency: u64,
+    /// MSHRs per cache (paper: 8).
+    pub l1_mshrs: usize,
+    /// MSHRs at the L2 (paper: 8).
+    pub l2_mshrs: usize,
+    /// DRAM parameters (4-channel Rambus-like).
+    pub dram: DramConfig,
+    /// Prefetch queue capacity (paper: 32, LIFO).
+    pub prefetch_queue: usize,
+    /// Recursion depth seeded by a `recursive pointer` hint (paper: 6).
+    pub recursive_depth: u8,
+    /// Pointer-chase depth for hardware-only pointer prefetching.
+    pub hw_pointer_depth: u8,
+    /// Use FIFO instead of LIFO prefetch-queue scheduling (ablation; the
+    /// paper uses LIFO).
+    pub fifo_queue: bool,
+    /// Insert prefetches at MRU instead of LRU (ablation; the paper
+    /// inserts at LRU to bound pollution).
+    pub prefetch_mru_insert: bool,
+}
+
+impl SimConfig {
+    /// The paper's evaluation platform.
+    pub fn paper() -> Self {
+        Self {
+            window: WindowConfig::default(),
+            l1: CacheConfig::l1_spec(),
+            l2: CacheConfig::l2_spec(),
+            l1_latency: 3,
+            l2_latency: 12,
+            l1_mshrs: 8,
+            l2_mshrs: 8,
+            dram: DramConfig::default(),
+            prefetch_queue: 32,
+            recursive_depth: 6,
+            hw_pointer_depth: 1,
+            fifo_queue: false,
+            prefetch_mru_insert: false,
+        }
+    }
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        Self::paper()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_config_matches_section_5_1() {
+        let c = SimConfig::paper();
+        assert_eq!(c.window.width, 4);
+        assert_eq!(c.window.capacity, 64);
+        assert_eq!(c.l1.size_bytes, 64 * 1024);
+        assert_eq!(c.l2.size_bytes, 1024 * 1024);
+        assert_eq!(c.l1_latency, 3);
+        assert_eq!(c.l2_latency, 12);
+        assert_eq!(c.l1_mshrs, 8);
+        assert_eq!(c.l2_mshrs, 8);
+        assert_eq!(c.dram.channels, 4);
+        assert_eq!(c.prefetch_queue, 32);
+        assert_eq!(c.recursive_depth, 6);
+    }
+
+    #[test]
+    fn scheme_compiler_configs() {
+        assert!(Scheme::NoPrefetch.compiler_config().is_none());
+        assert!(Scheme::Srp.compiler_config().is_none());
+        assert!(Scheme::Stride.compiler_config().is_none());
+        assert!(Scheme::HwPointer.compiler_config().is_none());
+        let fix = Scheme::GrpFix.compiler_config().unwrap();
+        assert!(!fix.varsize);
+        let var = Scheme::GrpVar.compiler_config().unwrap();
+        assert!(var.varsize);
+        let ptr = Scheme::GrpPointer.compiler_config().unwrap();
+        assert!(ptr.spatial && ptr.pointer && !ptr.indirect && !ptr.varsize);
+    }
+
+    #[test]
+    fn scheme_ideal_modes_and_labels() {
+        assert_eq!(Scheme::PerfectL1.ideal_mode(), IdealMode::PerfectL1);
+        assert_eq!(Scheme::PerfectL2.ideal_mode(), IdealMode::PerfectL2);
+        assert_eq!(Scheme::GrpVar.ideal_mode(), IdealMode::None);
+        assert_eq!(Scheme::GrpVar.to_string(), "GRP/Var");
+        assert_eq!(Scheme::ALL.len(), 12);
+    }
+}

@@ -1,0 +1,171 @@
+//! Prefetch engines: the pluggable half of the memory system.
+//!
+//! [`Prefetcher`] is the interface between the memory system and a
+//! prefetching scheme. The three implementations reproduce the paper's
+//! comparison set:
+//!
+//! * [`NoPrefetcher`] — the baseline,
+//! * [`stride::StridePrefetcher`] — predictor-directed stream buffers,
+//! * [`region::RegionPrefetcher`] — SRP and, with hints enabled, GRP.
+
+pub mod region;
+pub mod stride;
+
+use grp_cpu::{HintSet, RefId};
+use grp_mem::{Addr, BlockAddr, Cache, Dram, HeapRange, Memory, MshrFile};
+
+/// A block the engine wants prefetched, with the pointer-chase depth to
+/// attach to its MSHR entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Candidate {
+    /// Block to fetch.
+    pub block: BlockAddr,
+    /// Remaining pointer-chase depth for the returned line.
+    pub pointer_level: u8,
+}
+
+/// Counters every engine maintains.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EngineStats {
+    /// Region-style entries allocated.
+    pub entries_allocated: u64,
+    /// Entries dropped off the bounded queue's tail.
+    pub entries_dropped: u64,
+    /// Candidates handed to the prioritizer.
+    pub candidates_issued: u64,
+    /// Entries created by pointer scans.
+    pub pointer_entries: u64,
+    /// Entries created by indirect prefetch instructions.
+    pub indirect_entries: u64,
+    /// Histogram of allocated region sizes, indexed by log2(blocks)
+    /// (index 0 = 1 block … index 6 = 64 blocks).
+    pub region_size_hist: [u64; 7],
+}
+
+/// The engine interface. All timing decisions (when a candidate may
+/// issue) stay in the memory system's prioritizer; engines only maintain
+/// candidate state.
+pub trait Prefetcher: std::fmt::Debug {
+    /// Reacts to an L2 demand (tag-array) miss. Returns the pointer-chase
+    /// depth the memory system should attach to the miss's MSHR entry
+    /// (0 = no scan of the returned line).
+    fn on_demand_miss(
+        &mut self,
+        block: BlockAddr,
+        addr: Addr,
+        ref_id: RefId,
+        hints: HintSet,
+        write: bool,
+        l2: &Cache,
+    ) -> u8;
+
+    /// Reacts to a completed fill whose MSHR carried pointer-chase depth
+    /// `level` — the GRP pointer-scan hook (§3.2/§3.3.1).
+    fn on_fill(&mut self, block: BlockAddr, level: u8, mem: &Memory, heap: HeapRange, l2: &Cache);
+
+    /// The `SetLoopBound` pseudo-instruction executed (§3.3.2).
+    fn set_loop_bound(&mut self, _bound: u32) {}
+
+    /// The explicit indirect-prefetch instruction executed (§3.3.3).
+    fn indirect_prefetch(
+        &mut self,
+        _base: Addr,
+        _elem_size: u32,
+        _index_addr: Addr,
+        _mem: &Memory,
+        _l2: &Cache,
+    ) {
+    }
+
+    /// True when the engine holds any candidate (used by the prioritizer
+    /// to decide whether idle-channel times are interesting).
+    fn has_candidates(&self) -> bool;
+
+    /// Pops the next candidate that can issue at `now`: not resident in
+    /// `l2`, not in flight in `mshrs`, and on an idle channel — preferring
+    /// open DRAM rows (§3.1's bank-aware scheduling).
+    fn next_candidate(
+        &mut self,
+        l2: &Cache,
+        mshrs: &MshrFile,
+        dram: &Dram,
+        now: u64,
+    ) -> Option<Candidate>;
+
+    /// Counter snapshot.
+    fn stats(&self) -> EngineStats;
+}
+
+/// The no-prefetching baseline.
+#[derive(Debug, Default)]
+pub struct NoPrefetcher;
+
+impl Prefetcher for NoPrefetcher {
+    fn on_demand_miss(
+        &mut self,
+        _block: BlockAddr,
+        _addr: Addr,
+        _ref_id: RefId,
+        _hints: HintSet,
+        _write: bool,
+        _l2: &Cache,
+    ) -> u8 {
+        0
+    }
+
+    fn on_fill(
+        &mut self,
+        _block: BlockAddr,
+        _level: u8,
+        _mem: &Memory,
+        _heap: HeapRange,
+        _l2: &Cache,
+    ) {
+    }
+
+    fn has_candidates(&self) -> bool {
+        false
+    }
+
+    fn next_candidate(
+        &mut self,
+        _l2: &Cache,
+        _mshrs: &MshrFile,
+        _dram: &Dram,
+        _now: u64,
+    ) -> Option<Candidate> {
+        None
+    }
+
+    fn stats(&self) -> EngineStats {
+        EngineStats::default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use grp_mem::CacheConfig;
+
+    #[test]
+    fn no_prefetcher_is_inert() {
+        let mut p = NoPrefetcher;
+        let l2 = Cache::new(CacheConfig::l2_spec());
+        let mshrs = MshrFile::new(8);
+        let dram = Dram::new(Default::default());
+        assert_eq!(
+            p.on_demand_miss(
+                BlockAddr(1),
+                Addr(64),
+                RefId(0),
+                HintSet::none(),
+                false,
+                &l2
+            ),
+            0
+        );
+        assert!(!p.has_candidates());
+        assert!(p.next_candidate(&l2, &mshrs, &dram, 0).is_none());
+        assert_eq!(p.stats(), EngineStats::default());
+    }
+}

@@ -1,0 +1,704 @@
+//! The region prefetching engine — SRP (§3.1) and GRP (§3.3).
+//!
+//! One engine implements both schemes: SRP is the configuration with no
+//! hint gating (`spatial_gate = false`, pointer scanning off), GRP adds
+//! the compiler-hint gates, pointer/recursive scanning, variable-size
+//! regions, and indirect prefetching. The prefetch queue is a bounded
+//! LIFO of region entries, each holding a 64-bit candidate vector and a
+//! next-candidate index, exactly as described in §3.1.
+
+use grp_cpu::{HintSet, RefId};
+use grp_mem::{
+    Addr, BlockAddr, Cache, Dram, HeapRange, Memory, MshrFile, RegionAddr, REGION_BLOCKS,
+};
+use std::collections::VecDeque;
+
+use super::{Candidate, EngineStats, Prefetcher};
+
+/// When the engine scans returned lines for pointers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PointerMode {
+    /// Never scan (SRP, stride).
+    Off,
+    /// Scan every returned demand-miss line to the given depth — the
+    /// hardware-only greedy scheme of §3.2.
+    AllMisses(u8),
+    /// Scan only lines whose miss carried a `pointer`/`recursive` hint.
+    Hinted,
+}
+
+/// Region engine configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RegionConfig {
+    /// Queue capacity (paper: 32).
+    pub queue_capacity: usize,
+    /// Allocate region entries at all (off for pointer-only schemes).
+    pub regions_enabled: bool,
+    /// Only allocate regions for misses with the `spatial` hint (GRP).
+    pub spatial_gate: bool,
+    /// Pointer-scan behaviour.
+    pub pointer_mode: PointerMode,
+    /// Honor `size` coefficients + loop bounds (GRP/Var).
+    pub varsize: bool,
+    /// Chase depth seeded by a `recursive pointer` hint (paper: 6).
+    pub recursive_depth: u8,
+    /// FIFO instead of LIFO queue order (ablation; paper uses LIFO).
+    pub fifo: bool,
+    /// Entries examined when preferring open-row candidates.
+    pub probe_depth: usize,
+}
+
+impl RegionConfig {
+    /// Scheduled region prefetching, no compiler support.
+    pub fn srp(queue_capacity: usize) -> Self {
+        Self {
+            queue_capacity,
+            regions_enabled: true,
+            spatial_gate: false,
+            pointer_mode: PointerMode::Off,
+            varsize: false,
+            recursive_depth: 6,
+            fifo: false,
+            probe_depth: 4,
+        }
+    }
+
+    /// Full GRP; `varsize` selects GRP/Var vs GRP/Fix.
+    pub fn grp(queue_capacity: usize, varsize: bool, recursive_depth: u8) -> Self {
+        Self {
+            queue_capacity,
+            regions_enabled: true,
+            spatial_gate: true,
+            pointer_mode: PointerMode::Hinted,
+            varsize,
+            recursive_depth,
+            fifo: false,
+            probe_depth: 4,
+        }
+    }
+
+    /// Hardware pointer prefetching alone (Figure 9).
+    pub fn hw_pointer(queue_capacity: usize, depth: u8) -> Self {
+        Self {
+            queue_capacity,
+            regions_enabled: false,
+            spatial_gate: true,
+            pointer_mode: PointerMode::AllMisses(depth),
+            varsize: false,
+            recursive_depth: depth,
+            fifo: false,
+            probe_depth: 4,
+        }
+    }
+
+    /// Pointer prefetching gated by hints, without region prefetching.
+    pub fn grp_pointer(queue_capacity: usize, recursive_depth: u8) -> Self {
+        Self {
+            queue_capacity,
+            regions_enabled: false,
+            spatial_gate: true,
+            pointer_mode: PointerMode::Hinted,
+            varsize: false,
+            recursive_depth,
+            fifo: false,
+            probe_depth: 4,
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct RegionEntry {
+    region: RegionAddr,
+    /// Candidate blocks still to prefetch.
+    bits: u64,
+    /// Next-candidate index within the region (wraps).
+    index: u8,
+    /// Pointer-chase depth to attach to issued prefetches.
+    pointer_level: u8,
+}
+
+impl RegionEntry {
+    fn clear(&mut self, bit: u8) {
+        self.bits &= !(1u64 << bit);
+    }
+}
+
+/// The SRP/GRP prefetch engine.
+#[derive(Debug)]
+pub struct RegionPrefetcher {
+    cfg: RegionConfig,
+    queue: VecDeque<RegionEntry>,
+    loop_bound: u32,
+    stats: EngineStats,
+}
+
+impl RegionPrefetcher {
+    /// Creates an engine from `cfg`.
+    pub fn new(cfg: RegionConfig) -> Self {
+        Self {
+            cfg,
+            queue: VecDeque::with_capacity(cfg.queue_capacity),
+            loop_bound: 0,
+            stats: EngineStats::default(),
+        }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> RegionConfig {
+        self.cfg
+    }
+
+    /// Current queue occupancy (entries).
+    pub fn queue_len(&self) -> usize {
+        self.queue.len()
+    }
+
+    fn push_entry(&mut self, e: RegionEntry) {
+        if self.cfg.fifo {
+            self.queue.push_back(e);
+        } else {
+            self.queue.push_front(e);
+        }
+        while self.queue.len() > self.cfg.queue_capacity {
+            // Old entries fall off the bottom (§3.1).
+            if self.cfg.fifo {
+                self.queue.pop_front();
+            } else {
+                self.queue.pop_back();
+            }
+            self.stats.entries_dropped += 1;
+        }
+    }
+
+    /// Region size in blocks for a spatial miss: fixed 64, or the §3.3.2
+    /// variable size `loop bound << coefficient` (in bytes) when enabled.
+    fn region_blocks(&self, hints: HintSet) -> u64 {
+        if !self.cfg.varsize {
+            return REGION_BLOCKS as u64;
+        }
+        match hints.size_coeff() {
+            Some(x) if self.loop_bound > 0 => {
+                let bytes = (self.loop_bound as u64) << x;
+                let blocks = bytes.div_ceil(grp_mem::BLOCK_BYTES).max(1);
+                blocks.next_power_of_two().clamp(2, REGION_BLOCKS as u64)
+            }
+            _ => REGION_BLOCKS as u64,
+        }
+    }
+
+    /// Allocates (or refreshes) a region entry around a spatial miss.
+    fn allocate_region(&mut self, miss: BlockAddr, hints: HintSet, plevel: u8, l2: &Cache) {
+        let region = miss.region();
+        let miss_idx = miss.index_in_region() as u8;
+        let next_idx = (miss_idx + 1) % REGION_BLOCKS as u8;
+
+        // Miss to a region already in the queue: clear the miss block's
+        // bit, bump the index, move the entry to the head (§3.1).
+        if let Some(pos) = self.queue.iter().position(|e| e.region == region) {
+            let mut e = self.queue.remove(pos).expect("position valid");
+            e.clear(miss_idx);
+            e.index = next_idx;
+            e.pointer_level = e.pointer_level.max(plevel);
+            self.push_entry(e);
+            return;
+        }
+
+        // Fresh entry: candidate window of `size` blocks around the miss,
+        // minus blocks already resident, minus the miss block itself.
+        let size = self.region_blocks(hints);
+        let window_start = (miss_idx as u64 / size) * size;
+        let mut bits = 0u64;
+        for i in window_start..window_start + size {
+            let b = region.block(i as usize);
+            if i as u8 != miss_idx && !l2.contains(b) {
+                bits |= 1u64 << i;
+            }
+        }
+        self.stats.entries_allocated += 1;
+        let bucket = (63 - size.leading_zeros()) as usize;
+        self.stats.region_size_hist[bucket.min(6)] += 1;
+        if bits == 0 {
+            return;
+        }
+        self.push_entry(RegionEntry {
+            region,
+            bits,
+            index: next_idx,
+            pointer_level: plevel,
+        });
+    }
+
+    /// Queues a single block (pointer/indirect targets) by merging into
+    /// an existing entry for its region or allocating a 1-block entry.
+    fn enqueue_block(&mut self, block: BlockAddr, plevel: u8, l2: &Cache) {
+        if l2.contains(block) {
+            return;
+        }
+        let region = block.region();
+        let bit = block.index_in_region() as u8;
+        if let Some(pos) = self.queue.iter().position(|e| e.region == region) {
+            let mut e = self.queue.remove(pos).expect("position valid");
+            e.bits |= 1u64 << bit;
+            e.pointer_level = e.pointer_level.max(plevel);
+            self.push_entry(e);
+        } else {
+            self.push_entry(RegionEntry {
+                region,
+                bits: 1u64 << bit,
+                index: bit,
+                pointer_level: plevel,
+            });
+        }
+    }
+
+    /// Pointer-chase depth a miss's hints imply under this config.
+    fn pointer_level_for(&self, hints: HintSet) -> u8 {
+        match self.cfg.pointer_mode {
+            PointerMode::Off => 0,
+            PointerMode::AllMisses(depth) => depth,
+            PointerMode::Hinted => {
+                if hints.recursive() {
+                    self.cfg.recursive_depth
+                } else if hints.pointer() {
+                    1
+                } else {
+                    0
+                }
+            }
+        }
+    }
+
+    /// Tries to take an issuable candidate from the entry at queue
+    /// position `qi`. Returns the candidate, or `None` when the entry is
+    /// blocked (busy channel / closed row under `require_open`).
+    /// Removes entries that drain.
+    fn take_from_entry(
+        &mut self,
+        qi: usize,
+        l2: &Cache,
+        mshrs: &MshrFile,
+        dram: &Dram,
+        now: u64,
+        require_open: bool,
+    ) -> Option<Candidate> {
+        let e = self.queue.get_mut(qi)?;
+        // Scan candidates in index order (forward from the miss block,
+        // wrapping); a busy channel does not block later candidates —
+        // the controller issues to whichever channels are idle.
+        let start = e.index as u32;
+        let mut taken: Option<(u8, BlockAddr, u8)> = None;
+        for off in 0..REGION_BLOCKS as u32 {
+            let bit = ((start + off) % REGION_BLOCKS as u32) as u8;
+            if e.bits & (1u64 << bit) == 0 {
+                continue;
+            }
+            let block = e.region.block(bit as usize);
+            if l2.contains(block) || mshrs.contains(block) {
+                // Stale candidate: already resident or in flight.
+                e.clear(bit);
+                continue;
+            }
+            if !dram.channel_idle(block, now) || (require_open && !dram.row_is_open(block)) {
+                continue; // busy/closed: leave for later, try other bits
+            }
+            taken = Some((bit, block, e.pointer_level));
+            break;
+        }
+        match taken {
+            Some((bit, block, level)) => {
+                e.clear(bit);
+                e.index = (bit + 1) % REGION_BLOCKS as u8;
+                if e.bits == 0 {
+                    self.queue.remove(qi);
+                }
+                self.stats.candidates_issued += 1;
+                Some(Candidate {
+                    block,
+                    pointer_level: level,
+                })
+            }
+            None => {
+                if e.bits == 0 {
+                    // Drained entirely by stale-clearing.
+                    self.queue.remove(qi);
+                }
+                None
+            }
+        }
+    }
+}
+
+impl Prefetcher for RegionPrefetcher {
+    fn on_demand_miss(
+        &mut self,
+        block: BlockAddr,
+        _addr: Addr,
+        _ref_id: RefId,
+        hints: HintSet,
+        _write: bool,
+        l2: &Cache,
+    ) -> u8 {
+        let plevel = self.pointer_level_for(hints);
+        let spatial_ok = !self.cfg.spatial_gate || hints.spatial();
+        if self.cfg.regions_enabled && spatial_ok {
+            self.allocate_region(block, hints, plevel, l2);
+        } else if let Some(pos) = self.queue.iter().position(|e| e.region == block.region()) {
+            // Even a non-triggering miss invalidates its own block's
+            // candidate bit (the demand fetch is already underway).
+            self.queue[pos].clear(block.index_in_region() as u8);
+        }
+        plevel
+    }
+
+    fn on_fill(&mut self, _block: BlockAddr, level: u8, mem: &Memory, heap: HeapRange, l2: &Cache) {
+        if level == 0 || self.cfg.pointer_mode == PointerMode::Off {
+            return;
+        }
+        // §3.2: pointers are aligned 8-byte entities; check the eight
+        // words of the returned line against the heap bounds and prefetch
+        // two blocks per hit (structures may straddle a block boundary).
+        let words = mem.read_block_words(_block);
+        for w in words {
+            let target = Addr(w);
+            if !heap.contains(target) {
+                continue;
+            }
+            let tb = target.block();
+            self.stats.pointer_entries += 1;
+            self.enqueue_block(tb, level - 1, l2);
+            self.enqueue_block(tb.offset(1), level - 1, l2);
+        }
+    }
+
+    fn set_loop_bound(&mut self, bound: u32) {
+        self.loop_bound = bound;
+    }
+
+    fn indirect_prefetch(
+        &mut self,
+        base: Addr,
+        elem_size: u32,
+        index_addr: Addr,
+        mem: &Memory,
+        l2: &Cache,
+    ) {
+        // §3.3.3: read the cache block containing &b[i]; for each 4-byte
+        // word, prefetch base + scaled index — up to 16 prefetches.
+        let words = mem.read_block_words_u32(index_addr.block());
+        for w in words {
+            let idx = w as i32 as i64;
+            let target = Addr(
+                (base.0 as i64).wrapping_add(idx.wrapping_mul(elem_size as i64)) as u64,
+            );
+            self.stats.indirect_entries += 1;
+            self.enqueue_block(target.block(), 0, l2);
+        }
+    }
+
+    fn has_candidates(&self) -> bool {
+        !self.queue.is_empty()
+    }
+
+    fn next_candidate(
+        &mut self,
+        l2: &Cache,
+        mshrs: &MshrFile,
+        dram: &Dram,
+        now: u64,
+    ) -> Option<Candidate> {
+        // Pass 1: among the first `probe_depth` entries, prefer a
+        // candidate whose DRAM row is already open (§3.1).
+        let probe = self.cfg.probe_depth.min(self.queue.len());
+        for qi in 0..probe {
+            if qi >= self.queue.len() {
+                break;
+            }
+            if let Some(c) = self.take_from_entry(qi, l2, mshrs, dram, now, true) {
+                return Some(c);
+            }
+        }
+        // Pass 2: first candidate on any idle channel, scanning from the
+        // head (LIFO priority).
+        let mut qi = 0;
+        while qi < self.queue.len() {
+            let before = self.queue.len();
+            if let Some(c) = self.take_from_entry(qi, l2, mshrs, dram, now, false) {
+                return Some(c);
+            }
+            // take_from_entry may have removed a drained entry at qi; in
+            // that case re-examine the same index.
+            if self.queue.len() == before {
+                qi += 1;
+            }
+        }
+        None
+    }
+
+    fn stats(&self) -> EngineStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use grp_mem::CacheConfig;
+
+    fn l2() -> Cache {
+        Cache::new(CacheConfig::l2_spec())
+    }
+
+    fn fresh(cfg: RegionConfig) -> (RegionPrefetcher, Cache, MshrFile, Dram, Memory) {
+        (
+            RegionPrefetcher::new(cfg),
+            l2(),
+            MshrFile::new(8),
+            Dram::new(Default::default()),
+            Memory::new(),
+        )
+    }
+
+    fn heap() -> HeapRange {
+        HeapRange {
+            start: Addr(0x10_0000),
+            end: Addr(0x80_0000),
+        }
+    }
+
+    #[test]
+    fn srp_allocates_full_region_on_any_miss() {
+        let (mut p, l2, mshrs, dram, _m) = fresh(RegionConfig::srp(32));
+        let miss = Addr(0x40_0040).block();
+        p.on_demand_miss(miss, Addr(0x40_0040), RefId(0), HintSet::none(), false, &l2);
+        assert!(p.has_candidates());
+        // 63 candidates (region minus the miss block itself).
+        let mut got = 0;
+        let mut now = 0;
+        while let Some(c) = p.next_candidate(&l2, &mshrs, &dram, now) {
+            assert_ne!(c.block, miss);
+            assert_eq!(c.block.region(), miss.region());
+            got += 1;
+            now += 10_000; // keep channels idle
+        }
+        assert_eq!(got, 63);
+    }
+
+    #[test]
+    fn srp_prefetches_forward_first() {
+        let (mut p, l2, mshrs, dram, _m) = fresh(RegionConfig::srp(32));
+        // Miss on block 10 of its region.
+        let region = RegionAddr(0x123);
+        let miss = region.block(10);
+        p.on_demand_miss(miss, miss.base(), RefId(0), HintSet::none(), false, &l2);
+        let c = p.next_candidate(&l2, &mshrs, &dram, 0).unwrap();
+        assert_eq!(c.block, region.block(11), "index starts after the miss block");
+    }
+
+    #[test]
+    fn grp_gates_on_spatial_hint() {
+        let (mut p, l2, _mshrs, _dram, _m) = fresh(RegionConfig::grp(32, false, 6));
+        let miss = Addr(0x40_0000).block();
+        p.on_demand_miss(miss, miss.base(), RefId(0), HintSet::none(), false, &l2);
+        assert!(!p.has_candidates(), "unhinted miss triggers nothing under GRP");
+        p.on_demand_miss(
+            miss,
+            miss.base(),
+            RefId(0),
+            HintSet::none().with_spatial(),
+            false,
+            &l2,
+        );
+        assert!(p.has_candidates());
+    }
+
+    #[test]
+    fn repeated_region_miss_moves_entry_to_head_and_clears_bit() {
+        let (mut p, l2, mshrs, dram, _m) = fresh(RegionConfig::srp(32));
+        let r1 = RegionAddr(1);
+        let r2 = RegionAddr(2);
+        p.on_demand_miss(r1.block(0), r1.block(0).base(), RefId(0), HintSet::none(), false, &l2);
+        p.on_demand_miss(r2.block(0), r2.block(0).base(), RefId(0), HintSet::none(), false, &l2);
+        // LIFO: r2 is at the head now. A miss to r1 block 5 moves r1 back up.
+        p.on_demand_miss(r1.block(5), r1.block(5).base(), RefId(0), HintSet::none(), false, &l2);
+        let c = p.next_candidate(&l2, &mshrs, &dram, 0).unwrap();
+        assert_eq!(c.block.region(), r1, "refreshed region issues first");
+        assert_eq!(c.block, r1.block(6), "index moved past the new miss");
+        // Block 5 itself was cleared: drain and check it never appears.
+        let mut seen5 = false;
+        let mut now = 10_000;
+        while let Some(c) = p.next_candidate(&l2, &mshrs, &dram, now) {
+            if c.block == r1.block(5) {
+                seen5 = true;
+            }
+            now += 10_000;
+        }
+        assert!(!seen5);
+    }
+
+    #[test]
+    fn queue_is_bounded_lifo_with_tail_drop() {
+        let (mut p, l2, _mshrs, _dram, _m) = fresh(RegionConfig::srp(2));
+        for i in 0..4u64 {
+            let b = RegionAddr(i).block(0);
+            p.on_demand_miss(b, b.base(), RefId(0), HintSet::none(), false, &l2);
+        }
+        assert_eq!(p.queue_len(), 2);
+        assert_eq!(p.stats().entries_dropped, 2);
+    }
+
+    #[test]
+    fn resident_blocks_are_not_candidates() {
+        let (mut p, mut l2, mshrs, dram, _m) = fresh(RegionConfig::srp(32));
+        let region = RegionAddr(7);
+        // Make blocks 1..32 resident.
+        for i in 1..32 {
+            l2.fill(region.block(i), grp_mem::InsertPriority::Mru, false, false);
+        }
+        p.on_demand_miss(region.block(0), region.block(0).base(), RefId(0), HintSet::none(), false, &l2);
+        let mut count = 0;
+        let mut now = 0;
+        while p.next_candidate(&l2, &mshrs, &dram, now).is_some() {
+            count += 1;
+            now += 10_000;
+        }
+        assert_eq!(count, 32, "only the 32 absent blocks are prefetched");
+    }
+
+    #[test]
+    fn pointer_scan_enqueues_two_blocks_per_heap_pointer() {
+        let (mut p, l2, mshrs, dram, mut m) = fresh(RegionConfig::grp(32, false, 6));
+        let line = Addr(0x20_0000).block();
+        // Plant one heap pointer and seven junk words.
+        m.write_u64(line.base(), 0x30_0008); // heap pointer
+        for i in 1..8 {
+            m.write_u64(line.base().offset(i * 8), 0xdead); // below heap
+        }
+        p.on_fill(line, 1, &m, heap(), &l2);
+        let c1 = p.next_candidate(&l2, &mshrs, &dram, 0).unwrap();
+        let c2 = p.next_candidate(&l2, &mshrs, &dram, 10_000).unwrap();
+        let target = Addr(0x30_0008).block();
+        assert_eq!(c1.block, target);
+        assert_eq!(c2.block, target.offset(1));
+        assert_eq!(c1.pointer_level, 0, "depth decremented");
+        assert!(p.next_candidate(&l2, &mshrs, &dram, 20_000).is_none());
+    }
+
+    #[test]
+    fn recursive_scan_decrements_level() {
+        let (mut p, l2, _mshrs, _dram, mut m) = fresh(RegionConfig::grp(32, false, 6));
+        let line = Addr(0x20_0000).block();
+        m.write_u64(line.base(), 0x30_0000);
+        p.on_fill(line, 6, &m, heap(), &l2);
+        // The enqueued candidates carry level 5 — another scan will fire
+        // when they return.
+        let mshrs = MshrFile::new(8);
+        let dram = Dram::new(Default::default());
+        let c = p.next_candidate(&l2, &mshrs, &dram, 0).unwrap();
+        assert_eq!(c.pointer_level, 5);
+    }
+
+    #[test]
+    fn level_zero_fill_does_not_scan() {
+        let (mut p, l2, _mshrs, _dram, mut m) = fresh(RegionConfig::grp(32, false, 6));
+        let line = Addr(0x20_0000).block();
+        m.write_u64(line.base(), 0x30_0000);
+        p.on_fill(line, 0, &m, heap(), &l2);
+        assert!(!p.has_candidates());
+    }
+
+    #[test]
+    fn variable_size_region_uses_loop_bound() {
+        let (mut p, l2, mshrs, dram, _m) = fresh(RegionConfig::grp(32, true, 6));
+        p.set_loop_bound(16);
+        // coeff 3 → 16 << 3 = 128 bytes = 2 blocks.
+        let hints = HintSet::none().with_spatial().with_size_coeff(3);
+        let region = RegionAddr(9);
+        let miss = region.block(4);
+        p.on_demand_miss(miss, miss.base(), RefId(0), hints, false, &l2);
+        let mut blocks = Vec::new();
+        let mut now = 0;
+        while let Some(c) = p.next_candidate(&l2, &mshrs, &dram, now) {
+            blocks.push(c.block);
+            now += 10_000;
+        }
+        // Window of 2 blocks aligned at 4: {4, 5} minus the miss block 4.
+        assert_eq!(blocks, vec![region.block(5)]);
+        assert_eq!(p.stats().region_size_hist[1], 1, "2-block region recorded");
+    }
+
+    #[test]
+    fn fixed_size_ignores_coefficients() {
+        let (mut p, l2, _mshrs, _dram, _m) = fresh(RegionConfig::grp(32, false, 6));
+        p.set_loop_bound(16);
+        let hints = HintSet::none().with_spatial().with_size_coeff(3);
+        let miss = RegionAddr(9).block(4);
+        p.on_demand_miss(miss, miss.base(), RefId(0), hints, false, &l2);
+        assert_eq!(p.stats().region_size_hist[6], 1, "full 64-block region");
+    }
+
+    #[test]
+    fn indirect_prefetch_reads_index_block() {
+        let (mut p, l2, mshrs, dram, mut m) = fresh(RegionConfig::grp(32, false, 6));
+        let index_addr = Addr(0x50_0000);
+        // Sixteen i32 indices: 0, 100, 200, …
+        for i in 0..16 {
+            m.write_i32(index_addr.offset(i * 4), (i * 100) as i32);
+        }
+        let base = Addr(0x60_0000);
+        p.indirect_prefetch(base, 8, index_addr, &m, &l2);
+        let mut targets = Vec::new();
+        let mut now = 0;
+        while let Some(c) = p.next_candidate(&l2, &mshrs, &dram, now) {
+            targets.push(c.block);
+            now += 10_000;
+        }
+        assert!(!targets.is_empty());
+        // First index 0 → base block; index 100 → base + 800.
+        assert!(targets.contains(&base.block()));
+        assert!(targets.contains(&base.offset(800).block()));
+        assert_eq!(p.stats().indirect_entries, 16);
+    }
+
+    #[test]
+    fn hw_pointer_mode_scans_all_misses() {
+        let (mut p, l2, _mshrs, _dram, _m) = fresh(RegionConfig::hw_pointer(32, 1));
+        let miss = Addr(0x40_0000).block();
+        let level = p.on_demand_miss(miss, miss.base(), RefId(0), HintSet::none(), false, &l2);
+        assert_eq!(level, 1, "every miss gets scanned in hw-pointer mode");
+        assert!(!p.has_candidates(), "but no region entries are allocated");
+    }
+
+    #[test]
+    fn busy_channels_defer_candidates() {
+        let (mut p, l2, mshrs, mut dram, _m) = fresh(RegionConfig::srp(32));
+        let miss = RegionAddr(3).block(0);
+        p.on_demand_miss(miss, miss.base(), RefId(0), HintSet::none(), false, &l2);
+        // Occupy all four channels.
+        for ch in 0..4u64 {
+            dram.issue(BlockAddr(ch), grp_mem::RequestKind::Demand, 0);
+        }
+        assert!(p.next_candidate(&l2, &mshrs, &dram, 0).is_none());
+        assert!(p.has_candidates(), "candidates retained for later");
+        let later = 1_000_000;
+        assert!(p.next_candidate(&l2, &mshrs, &dram, later).is_some());
+    }
+
+    #[test]
+    fn open_row_candidates_preferred() {
+        let (mut p, l2, mshrs, mut dram, _m) = fresh(RegionConfig::srp(32));
+        // Two regions queued; the second one's row gets opened.
+        let r1 = RegionAddr(0x100);
+        let r2 = RegionAddr(0x200);
+        p.on_demand_miss(r1.block(0), r1.block(0).base(), RefId(0), HintSet::none(), false, &l2);
+        p.on_demand_miss(r2.block(0), r2.block(0).base(), RefId(0), HintSet::none(), false, &l2);
+        // Open the row for r1's early blocks; pick a time when channels idle.
+        let req = dram.issue(r1.block(1), grp_mem::RequestKind::Demand, 0);
+        let now = req.complete_at + 1;
+        let c = p.next_candidate(&l2, &mshrs, &dram, now).unwrap();
+        assert_eq!(
+            c.block.region(),
+            r1,
+            "open-row region wins despite r2 being newer"
+        );
+    }
+}

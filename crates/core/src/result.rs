@@ -1,0 +1,199 @@
+//! Per-run results and the derived metrics the paper reports.
+
+use grp_mem::{CacheStats, TrafficStats};
+
+use crate::config::Scheme;
+use crate::engine::EngineStats;
+use crate::memsys::MissAttribution;
+
+/// Everything one simulation produces.
+#[derive(Debug, Clone)]
+pub struct RunResult {
+    /// The scheme simulated.
+    pub scheme: Scheme,
+    /// Total execution cycles.
+    pub cycles: u64,
+    /// Committed instructions.
+    pub instructions: u64,
+    /// L1 data cache counters.
+    pub l1: CacheStats,
+    /// L2 cache counters.
+    pub l2: CacheStats,
+    /// Memory traffic ledger (demand + prefetch + writeback blocks).
+    pub traffic: TrafficStats,
+    /// Engine counters.
+    pub engine: EngineStats,
+    /// Prefetch blocks issued to DRAM.
+    pub prefetches_issued: u64,
+    /// Demand misses that merged with an in-flight prefetch (late
+    /// prefetches: partially hidden latency).
+    pub late_prefetch_merges: u64,
+    /// Prefetched lines still resident and untouched at run end
+    /// (folded into the accuracy denominator).
+    pub resident_unused_prefetches: u64,
+    /// Per-site L2 demand miss attribution.
+    pub attribution: MissAttribution,
+    /// Sum of (completion − issue) over all loads, in cycles.
+    pub load_latency_sum: u64,
+}
+
+impl RunResult {
+    /// Average load latency in cycles (issue to data return), across
+    /// *all* loads — L1 hits and misses alike. The headline view of how
+    /// much latency prefetching removed from the load stream.
+    pub fn avg_load_latency(&self, loads: u64) -> f64 {
+        if loads == 0 {
+            0.0
+        } else {
+            self.load_latency_sum as f64 / loads as f64
+        }
+    }
+
+    /// Instructions per cycle.
+    pub fn ipc(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.instructions as f64 / self.cycles as f64
+        }
+    }
+
+    /// Speedup of this run over `base` (same workload).
+    pub fn speedup_vs(&self, base: &RunResult) -> f64 {
+        if self.cycles == 0 {
+            return 0.0;
+        }
+        base.cycles as f64 / self.cycles as f64
+    }
+
+    /// L2 demand misses.
+    pub fn l2_misses(&self) -> u64 {
+        self.l2.demand_misses
+    }
+
+    /// Coverage versus a no-prefetch baseline: the fraction of baseline
+    /// L2 misses eliminated (the paper's Table 5 metric). Can be negative
+    /// when prefetching *adds* misses (pollution).
+    pub fn coverage_vs(&self, base: &RunResult) -> f64 {
+        if base.l2_misses() == 0 {
+            return 0.0;
+        }
+        (base.l2_misses() as f64 - self.l2_misses() as f64) / base.l2_misses() as f64
+    }
+
+    /// Prefetch accuracy: prefetched blocks referenced before eviction,
+    /// over all prefetched blocks (late merges count as useful; blocks
+    /// still resident and untouched at the end count against).
+    pub fn accuracy(&self) -> f64 {
+        let useful = self.l2.useful_prefetches + self.late_prefetch_merges;
+        let useless = self.l2.useless_prefetches + self.resident_unused_prefetches;
+        let total = useful + useless;
+        if total == 0 {
+            0.0
+        } else {
+            useful as f64 / total as f64
+        }
+    }
+
+    /// Traffic normalized to a baseline run.
+    pub fn traffic_vs(&self, base: &RunResult) -> f64 {
+        self.traffic.normalized_to(&base.traffic)
+    }
+
+    /// Performance gap versus a perfect-L2 run, in percent
+    /// (the paper's "performance gap from perfect L2").
+    pub fn gap_vs_perfect(&self, perfect: &RunResult) -> f64 {
+        if self.cycles == 0 {
+            return 0.0;
+        }
+        (1.0 - perfect.cycles as f64 / self.cycles as f64) * 100.0
+    }
+}
+
+/// Geometric mean over a nonempty slice (the paper summarizes with
+/// geometric means). Returns 0.0 for an empty slice.
+pub fn geomean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    let sum: f64 = xs.iter().map(|x| x.max(1e-12).ln()).sum();
+    (sum / xs.len() as f64).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use grp_mem::TrafficStats;
+
+    fn result(cycles: u64, insts: u64) -> RunResult {
+        RunResult {
+            scheme: Scheme::NoPrefetch,
+            cycles,
+            instructions: insts,
+            l1: CacheStats::default(),
+            l2: CacheStats::default(),
+            traffic: TrafficStats::default(),
+            engine: EngineStats::default(),
+            prefetches_issued: 0,
+            late_prefetch_merges: 0,
+            resident_unused_prefetches: 0,
+            attribution: MissAttribution::default(),
+            load_latency_sum: 0,
+        }
+    }
+
+    #[test]
+    fn ipc_and_speedup() {
+        let base = result(1000, 2000);
+        let fast = result(500, 2000);
+        assert!((base.ipc() - 2.0).abs() < 1e-12);
+        assert!((fast.speedup_vs(&base) - 2.0).abs() < 1e-12);
+        assert_eq!(result(0, 10).ipc(), 0.0);
+    }
+
+    #[test]
+    fn coverage_math() {
+        let mut base = result(1000, 1000);
+        base.l2.demand_misses = 100;
+        let mut pf = result(800, 1000);
+        pf.l2.demand_misses = 40;
+        assert!((pf.coverage_vs(&base) - 0.6).abs() < 1e-12);
+        // Pollution case: more misses than baseline.
+        let mut bad = result(900, 1000);
+        bad.l2.demand_misses = 120;
+        assert!(bad.coverage_vs(&base) < 0.0);
+    }
+
+    #[test]
+    fn accuracy_includes_late_and_resident() {
+        let mut r = result(100, 100);
+        r.l2.useful_prefetches = 6;
+        r.late_prefetch_merges = 2;
+        r.l2.useless_prefetches = 1;
+        r.resident_unused_prefetches = 1;
+        assert!((r.accuracy() - 0.8).abs() < 1e-12);
+        assert_eq!(result(1, 1).accuracy(), 0.0);
+    }
+
+    #[test]
+    fn gap_vs_perfect() {
+        let real = result(1500, 1000);
+        let perfect = result(1000, 1000);
+        assert!((real.gap_vs_perfect(&perfect) - 33.333).abs() < 0.01);
+    }
+
+    #[test]
+    fn avg_load_latency_math() {
+        let mut r = result(100, 100);
+        r.load_latency_sum = 500;
+        assert!((r.avg_load_latency(100) - 5.0).abs() < 1e-12);
+        assert_eq!(r.avg_load_latency(0), 0.0);
+    }
+
+    #[test]
+    fn geomean_basics() {
+        assert_eq!(geomean(&[]), 0.0);
+        assert!((geomean(&[4.0]) - 4.0).abs() < 1e-9);
+        assert!((geomean(&[1.0, 4.0]) - 2.0).abs() < 1e-9);
+    }
+}

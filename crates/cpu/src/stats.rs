@@ -1,0 +1,161 @@
+//! Trace-level statistics: the workload-characterization numbers used
+//! to validate that each kernel has the memory behaviour it claims
+//! (footprint, reference mix, dependence structure).
+
+use std::collections::HashSet;
+
+use crate::trace::{Trace, TraceEvent};
+
+/// Summary statistics of one dynamic trace.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceStats {
+    /// Committed instructions.
+    pub instructions: u64,
+    /// Dynamic loads.
+    pub loads: u64,
+    /// Dynamic stores.
+    pub stores: u64,
+    /// Unique 64 B blocks touched (the data footprint).
+    pub unique_blocks: u64,
+    /// Loads whose address depends on an earlier load's value.
+    pub dependent_loads: u64,
+    /// Longest chain of address-dependent loads.
+    pub max_dep_chain: u64,
+    /// Loads carrying any compiler hint.
+    pub hinted_loads: u64,
+    /// `SetLoopBound` pseudo-instructions.
+    pub loop_bounds: u64,
+    /// `IndirectPrefetch` pseudo-instructions.
+    pub indirect_prefetches: u64,
+}
+
+impl TraceStats {
+    /// Computes the statistics for `trace`.
+    pub fn compute(trace: &Trace) -> Self {
+        let mut blocks = HashSet::new();
+        let mut dependent = 0u64;
+        let mut hinted = 0u64;
+        let mut bounds = 0u64;
+        let mut indirects = 0u64;
+        // Chain depth per dynamic load (indexed by load sequence number).
+        let mut depth: Vec<u32> = Vec::with_capacity(trace.loads() as usize);
+        let mut max_chain = 0u32;
+        for ev in trace.events() {
+            match ev {
+                TraceEvent::Load {
+                    addr, dep, hints, ..
+                } => {
+                    blocks.insert(addr.block());
+                    let d = match dep {
+                        Some(seq) => {
+                            dependent += 1;
+                            depth[*seq as usize] + 1
+                        }
+                        None => 0,
+                    };
+                    max_chain = max_chain.max(d);
+                    depth.push(d);
+                    if !hints.is_empty() {
+                        hinted += 1;
+                    }
+                }
+                TraceEvent::Store { addr, .. } => {
+                    blocks.insert(addr.block());
+                }
+                TraceEvent::SetLoopBound(_) => bounds += 1,
+                TraceEvent::IndirectPrefetch { .. } => indirects += 1,
+                TraceEvent::Compute(_) => {}
+            }
+        }
+        TraceStats {
+            instructions: trace.instructions(),
+            loads: trace.loads(),
+            stores: trace.stores(),
+            unique_blocks: blocks.len() as u64,
+            dependent_loads: dependent,
+            max_dep_chain: max_chain as u64,
+            hinted_loads: hinted,
+            loop_bounds: bounds,
+            indirect_prefetches: indirects,
+        }
+    }
+
+    /// Data footprint in bytes.
+    pub fn footprint_bytes(&self) -> u64 {
+        self.unique_blocks * grp_mem::BLOCK_BYTES
+    }
+
+    /// Memory references per committed instruction.
+    pub fn ref_density(&self) -> f64 {
+        if self.instructions == 0 {
+            0.0
+        } else {
+            (self.loads + self.stores) as f64 / self.instructions as f64
+        }
+    }
+
+    /// Fraction of loads with an address dependence on another load —
+    /// how pointer-chasing-ish the workload is.
+    pub fn dependent_ratio(&self) -> f64 {
+        if self.loads == 0 {
+            0.0
+        } else {
+            self.dependent_loads as f64 / self.loads as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hints::HintSet;
+    use crate::trace::RefId;
+    use grp_mem::Addr;
+
+    #[test]
+    fn stats_on_a_mixed_trace() {
+        let mut t = Trace::new();
+        let s0 = t.push_load(Addr(0), 8, RefId(0), HintSet::none().with_spatial(), None);
+        let s1 = t.push_load(Addr(64), 8, RefId(1), HintSet::none(), Some(s0));
+        t.push_load(Addr(128), 8, RefId(2), HintSet::none(), Some(s1));
+        t.push_store(Addr(0), 8, RefId(3), HintSet::none());
+        t.push_compute(10);
+        t.push_set_loop_bound(4);
+        t.push_indirect_prefetch(Addr(512), 8, Addr(1024), RefId(4));
+        t.finish();
+        let s = TraceStats::compute(&t);
+        assert_eq!(s.loads, 3);
+        assert_eq!(s.stores, 1);
+        assert_eq!(s.unique_blocks, 3);
+        assert_eq!(s.dependent_loads, 2);
+        assert_eq!(s.max_dep_chain, 2, "0 → 1 → 2 chains two deps deep");
+        assert_eq!(s.hinted_loads, 1);
+        assert_eq!(s.loop_bounds, 1);
+        assert_eq!(s.indirect_prefetches, 1);
+        assert_eq!(s.footprint_bytes(), 3 * 64);
+        assert!(s.ref_density() > 0.0);
+        assert!((s.dependent_ratio() - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_trace_stats_are_zero() {
+        let t = Trace::new();
+        let s = TraceStats::compute(&t);
+        assert_eq!(s.loads, 0);
+        assert_eq!(s.unique_blocks, 0);
+        assert_eq!(s.ref_density(), 0.0);
+        assert_eq!(s.dependent_ratio(), 0.0);
+    }
+
+    #[test]
+    fn independent_loads_have_no_chain() {
+        let mut t = Trace::new();
+        for i in 0..5 {
+            t.push_load(Addr(i * 4096), 8, RefId(0), HintSet::none(), None);
+        }
+        t.finish();
+        let s = TraceStats::compute(&t);
+        assert_eq!(s.dependent_loads, 0);
+        assert_eq!(s.max_dep_chain, 0);
+    }
+}

@@ -1,0 +1,116 @@
+//! Property tests for the out-of-order window model: invariants that
+//! must hold for any dispatch schedule.
+
+use grp_cpu::{Window, WindowConfig};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Compute(u64),
+    Load { latency: u64 },
+}
+
+fn ops() -> impl Strategy<Value = Vec<Op>> {
+    proptest::collection::vec(
+        prop_oneof![
+            (1u64..200).prop_map(Op::Compute),
+            (1u64..400).prop_map(|latency| Op::Load { latency }),
+        ],
+        1..120,
+    )
+}
+
+fn run(cfg: WindowConfig, ops: &[Op]) -> (u64, u64) {
+    let mut w = Window::new(cfg);
+    let mut insts = 0u64;
+    for op in ops {
+        match op {
+            Op::Compute(n) => {
+                w.dispatch_compute(*n);
+                insts += n;
+            }
+            Op::Load { latency } => {
+                let d = w.prepare_dispatch(1);
+                w.push(1, d + latency);
+                insts += 1;
+            }
+        }
+    }
+    (w.finish(), insts)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Execution time is bounded below by retire bandwidth and by the
+    /// longest single load latency, and everything retires.
+    #[test]
+    fn cycles_bounded_below(ops in ops()) {
+        let cfg = WindowConfig::default();
+        let (cycles, insts) = run(cfg, &ops);
+        prop_assert!(cycles >= insts / cfg.width);
+        let max_lat = ops
+            .iter()
+            .filter_map(|o| match o {
+                Op::Load { latency } => Some(*latency),
+                _ => None,
+            })
+            .max()
+            .unwrap_or(0);
+        prop_assert!(cycles + 1 >= max_lat, "a load's latency cannot vanish");
+    }
+
+    /// Execution time is bounded above by fully-serial execution.
+    #[test]
+    fn cycles_bounded_above_by_serial(ops in ops()) {
+        let cfg = WindowConfig::default();
+        let (cycles, _) = run(cfg, &ops);
+        let serial: u64 = ops
+            .iter()
+            .map(|o| match o {
+                Op::Compute(n) => *n,
+                Op::Load { latency } => latency + 1,
+            })
+            .sum();
+        prop_assert!(cycles <= serial + 64, "window never slower than serial");
+    }
+
+    /// A wider window never slows execution down.
+    #[test]
+    fn bigger_window_is_monotone(ops in ops()) {
+        let small = run(
+            WindowConfig { width: 4, capacity: 16 },
+            &ops,
+        );
+        let big = run(
+            WindowConfig { width: 4, capacity: 256 },
+            &ops,
+        );
+        prop_assert!(big.0 <= small.0, "capacity 256 ({}) vs 16 ({})", big.0, small.0);
+    }
+
+    /// All dispatched instructions retire exactly once.
+    #[test]
+    fn retire_conservation(ops in ops()) {
+        let cfg = WindowConfig::default();
+        let mut w = Window::new(cfg);
+        let mut insts = 0u64;
+        for op in &ops {
+            match op {
+                Op::Compute(n) => {
+                    w.dispatch_compute(*n);
+                    insts += n;
+                }
+                Op::Load { latency } => {
+                    let d = w.prepare_dispatch(1);
+                    w.push(1, d + latency);
+                    insts += 1;
+                }
+            }
+        }
+        w.finish();
+        prop_assert_eq!(w.retired(), insts);
+        prop_assert_eq!(w.dispatched(), insts);
+        prop_assert_eq!(w.occupancy(), 0);
+    }
+}

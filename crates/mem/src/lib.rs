@@ -1,0 +1,56 @@
+//! Memory-system substrate for the GRP (Guided Region Prefetching) simulator.
+//!
+//! This crate provides the building blocks the ISCA 2003 GRP paper's
+//! evaluation platform was made of:
+//!
+//! * [`Addr`]/[`BlockAddr`]/[`RegionAddr`] — strongly-typed physical
+//!   addresses at byte, cache-block (64 B) and prefetch-region (4 KB)
+//!   granularity.
+//! * [`Memory`] — a sparse *functional* memory holding real data values.
+//!   GRP's pointer-scan prefetcher inspects the contents of fetched cache
+//!   blocks, so the simulator must model values, not just addresses.
+//! * [`HeapAllocator`] — a bump allocator defining the legitimate heap
+//!   range used by the pointer base-and-bounds test (paper §3.2).
+//! * [`Cache`] — a set-associative cache with the low-priority (LRU-way)
+//!   insertion policy for prefetches that SRP/GRP rely on (paper §3.1).
+//! * [`MshrFile`] — miss status holding registers bounding outstanding
+//!   misses per cache.
+//! * [`Dram`] — a multi-channel, banked DRAM model with open-page row
+//!   buffers and idle-channel detection for the prefetch access
+//!   prioritizer.
+//! * [`TrafficStats`] — memory-traffic accounting used by the paper's
+//!   Figure 12 and Table 5.
+//!
+//! # Example
+//!
+//! ```
+//! use grp_mem::{Memory, HeapAllocator, Addr};
+//!
+//! let mut mem = Memory::new();
+//! let mut heap = HeapAllocator::new(Addr(0x1000_0000));
+//! let a = heap.alloc(64, 8);
+//! mem.write_u64(a, 0xdead_beef);
+//! assert_eq!(mem.read_u64(a), 0xdead_beef);
+//! assert!(heap.range().contains(a));
+//! ```
+
+#![deny(missing_docs)]
+
+pub mod addr;
+pub mod alloc;
+pub mod cache;
+pub mod dram;
+pub mod memory;
+pub mod mshr;
+pub mod stats;
+
+pub use addr::{
+    Addr, BlockAddr, RegionAddr, BLOCK_BYTES, BLOCK_SHIFT, REGION_BLOCKS, REGION_BYTES,
+    REGION_SHIFT,
+};
+pub use alloc::{HeapAllocator, HeapRange};
+pub use cache::{Cache, CacheConfig, CacheStats, InsertPriority, LookupResult};
+pub use dram::{Dram, DramConfig, DramRequest, RequestKind};
+pub use memory::Memory;
+pub use mshr::{MshrEntry, MshrFile, MshrOutcome};
+pub use stats::TrafficStats;

@@ -1,0 +1,100 @@
+//! Memory-traffic accounting.
+//!
+//! The paper's headline traffic numbers (Table 1, Figure 12, Table 5)
+//! count total memory traffic — demand fetches, prefetches, and
+//! writebacks — and report each scheme normalized to the no-prefetching
+//! system. [`TrafficStats`] is that ledger.
+
+use crate::addr::BLOCK_BYTES;
+use crate::dram::DramStats;
+
+/// Total bus traffic for one simulation, in blocks by cause.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TrafficStats {
+    /// Blocks fetched on demand misses.
+    pub demand_blocks: u64,
+    /// Blocks fetched by the prefetch engine.
+    pub prefetch_blocks: u64,
+    /// Dirty blocks written back.
+    pub writeback_blocks: u64,
+}
+
+impl TrafficStats {
+    /// Builds the ledger from the DRAM's per-kind counters.
+    pub fn from_dram(d: &DramStats) -> Self {
+        Self {
+            demand_blocks: d.demand_blocks,
+            prefetch_blocks: d.prefetch_blocks,
+            writeback_blocks: d.writeback_blocks,
+        }
+    }
+
+    /// Total blocks moved.
+    pub fn total_blocks(&self) -> u64 {
+        self.demand_blocks + self.prefetch_blocks + self.writeback_blocks
+    }
+
+    /// Total bytes moved.
+    pub fn total_bytes(&self) -> u64 {
+        self.total_blocks() * BLOCK_BYTES
+    }
+
+    /// This scheme's traffic normalized to a baseline run (the paper's
+    /// "normalized memory traffic", Figure 12). Returns 1.0 when the
+    /// baseline moved no data.
+    pub fn normalized_to(&self, base: &TrafficStats) -> f64 {
+        if base.total_blocks() == 0 {
+            1.0
+        } else {
+            self.total_blocks() as f64 / base.total_blocks() as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_and_bytes() {
+        let t = TrafficStats {
+            demand_blocks: 10,
+            prefetch_blocks: 5,
+            writeback_blocks: 1,
+        };
+        assert_eq!(t.total_blocks(), 16);
+        assert_eq!(t.total_bytes(), 16 * 64);
+    }
+
+    #[test]
+    fn normalization() {
+        let base = TrafficStats {
+            demand_blocks: 100,
+            prefetch_blocks: 0,
+            writeback_blocks: 0,
+        };
+        let srp = TrafficStats {
+            demand_blocks: 60,
+            prefetch_blocks: 220,
+            writeback_blocks: 0,
+        };
+        assert!((srp.normalized_to(&base) - 2.8).abs() < 1e-12);
+        let empty = TrafficStats::default();
+        assert_eq!(srp.normalized_to(&empty), 1.0);
+    }
+
+    #[test]
+    fn from_dram_copies_kind_counters() {
+        let d = DramStats {
+            demand_blocks: 3,
+            prefetch_blocks: 4,
+            writeback_blocks: 5,
+            row_hits: 2,
+            row_misses: 10,
+        };
+        let t = TrafficStats::from_dram(&d);
+        assert_eq!(t.demand_blocks, 3);
+        assert_eq!(t.prefetch_blocks, 4);
+        assert_eq!(t.writeback_blocks, 5);
+    }
+}

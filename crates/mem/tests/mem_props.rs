@@ -1,0 +1,133 @@
+//! Property tests for the memory substrate: cache replacement, DRAM
+//! timing, allocator, and functional-memory invariants.
+
+use grp_mem::{
+    Addr, BlockAddr, Cache, CacheConfig, Dram, DramConfig, HeapAllocator, InsertPriority,
+    LookupResult, Memory, RequestKind,
+};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// A block accessed immediately after a fill always hits (no
+    /// spontaneous eviction), and the most recently touched block of a
+    /// set is never the eviction victim.
+    #[test]
+    fn mru_block_survives(blocks in proptest::collection::vec(0u64..256, 2..200)) {
+        let mut c = Cache::new(CacheConfig { size_bytes: 4 * 1024, ways: 4 });
+        let mut last: Option<BlockAddr> = None;
+        for b in blocks {
+            let blk = BlockAddr(b);
+            if c.access(blk, false) == LookupResult::Miss {
+                let v = c.fill(blk, InsertPriority::Mru, false, false);
+                if let (Some(v), Some(prev)) = (v, last) {
+                    // The immediately-previous touch is MRU in its set; if
+                    // the victim came from the same set it cannot be it.
+                    if prev != blk {
+                        prop_assert_ne!(v.block, prev, "evicted the MRU line");
+                    }
+                }
+            }
+            prop_assert!(c.contains(blk));
+            last = Some(blk);
+        }
+    }
+
+    /// DRAM completions are causal and per-channel monotone for demands.
+    #[test]
+    fn dram_completions_monotone(reqs in proptest::collection::vec((0u64..4096, any::<bool>()), 1..200)) {
+        let mut d = Dram::new(DramConfig::default());
+        let mut now = 0u64;
+        let mut last_demand_per_channel = vec![0u64; 4];
+        for (b, is_pf) in reqs {
+            let block = BlockAddr(b);
+            let kind = if is_pf { RequestKind::Prefetch } else { RequestKind::Demand };
+            let r = d.issue(block, kind, now);
+            prop_assert!(r.complete_at > now, "completion after issue");
+            if kind == RequestKind::Demand {
+                let ch = d.channel_of(block);
+                prop_assert!(
+                    r.complete_at >= last_demand_per_channel[ch],
+                    "demands on one channel complete in order"
+                );
+                last_demand_per_channel[ch] = r.complete_at;
+            }
+            now += 7; // issue times strictly increase
+        }
+    }
+
+    /// The demand path is never delayed by more than one preempted
+    /// prefetch: a demand issued on an idle-of-demands channel completes
+    /// within the uncontended latency plus the preemption penalty.
+    #[test]
+    fn demand_preemption_bound(pf_blocks in proptest::collection::vec(0u64..64, 0..32)) {
+        let cfg = DramConfig::default();
+        let mut d = Dram::new(cfg);
+        for b in pf_blocks {
+            d.issue(BlockAddr(b), RequestKind::Prefetch, 0);
+        }
+        let r = d.issue(BlockAddr(1000), RequestKind::Demand, 0);
+        let worst_uncontended = cfg.t_overhead + cfg.t_row_hit + cfg.t_row_miss_extra + cfg.t_burst;
+        prop_assert!(
+            r.complete_at <= worst_uncontended + cfg.t_preempt,
+            "demand waited {} > bound {}",
+            r.complete_at,
+            worst_uncontended + cfg.t_preempt
+        );
+    }
+
+    /// Allocations never overlap and always respect alignment.
+    #[test]
+    fn allocations_disjoint(sizes in proptest::collection::vec((1u64..10_000, 0u32..7), 1..64)) {
+        let mut h = HeapAllocator::new(Addr(0x1_0000));
+        let mut prev_end = 0x1_0000u64;
+        for (size, align_log) in sizes {
+            let align = 1u64 << align_log;
+            let a = h.alloc(size, align);
+            prop_assert!(a.is_aligned(align));
+            prop_assert!(a.0 >= prev_end, "allocation overlaps the previous one");
+            prev_end = a.0 + size;
+            prop_assert!(h.range().contains(a));
+            prop_assert!(h.range().contains(Addr(a.0 + size - 1)));
+        }
+    }
+
+    /// Functional memory reads back exactly what was written, at any mix
+    /// of sizes and offsets.
+    #[test]
+    fn memory_read_your_writes(writes in proptest::collection::vec((0u64..1 << 16, any::<u64>(), 0u8..3), 1..128)) {
+        let mut m = Memory::new();
+        let mut shadow: std::collections::HashMap<u64, u64> = Default::default();
+        for (addr, val, size_sel) in &writes {
+            // Align per size so entries do not partially overlap in the shadow.
+            match size_sel {
+                0 => {
+                    let a = addr & !7;
+                    m.write_u64(Addr(a), *val);
+                    shadow.insert(a, *val);
+                }
+                1 => {
+                    let a = (addr & !7) | 0x10_0000;
+                    m.write_u32(Addr(a), *val as u32);
+                    shadow.insert(a, *val & 0xFFFF_FFFF);
+                }
+                _ => {
+                    let a = (addr & !7) | 0x20_0000;
+                    m.write_u8(Addr(a), *val as u8);
+                    shadow.insert(a, *val & 0xFF);
+                }
+            }
+        }
+        for (a, v) in shadow {
+            let read = if a & 0x20_0000 != 0 {
+                m.read_u8(Addr(a)) as u64
+            } else if a & 0x10_0000 != 0 {
+                m.read_u32(Addr(a)) as u64
+            } else {
+                m.read_u64(Addr(a))
+            };
+            prop_assert_eq!(read, v);
+        }
+    }
+}

@@ -1,0 +1,134 @@
+//! `179.art` — adaptive resonance theory neural network.
+//!
+//! §5.5: "art is bandwidth bound"; Table 6 attributes its misses to
+//! bandwidth (24%) and a *transposed heap array access* (36%). The
+//! network sweeps f64 weight rows forward (f1 layer) and the same
+//! weights column-wise (f2 layer) through a heap array of row pointers.
+//! All prefetchers improve art but none closes the gap — the channels
+//! are the bottleneck (the paper notes "larger caches and wider channels
+//! improve art appreciably", which the bandwidth-sweep ablation bench
+//! reproduces).
+
+use crate::kernels::util;
+use crate::{BuiltWorkload, Scale};
+use grp_ir::build::*;
+use grp_ir::{ElemTy, ProgramBuilder};
+
+/// Builds art at `scale`.
+pub fn build(scale: Scale) -> BuiltWorkload {
+    let f1 = scale.pick(1_024, 20_000, 60_000) as i64; // f1 layer size
+    let f2 = scale.pick(8, 24, 32) as i64; // f2 categories
+    let mut pb = ProgramBuilder::new("art");
+    // bus: heap array of f2 row pointers, each row f1 f64 weights.
+    let bus = pb.heap_array("bus", ElemTy::ptr(), &[f2 as u64]);
+    let tds = pb.array("tds", ElemTy::F64, &[f2 as u64, f1 as u64]);
+    let i = pb.var("i");
+    let j = pb.var("j");
+    let acc = pb.var("acc");
+    let row = pb.var("row");
+
+    let body = vec![
+        // Forward pass: row-major streaming over tds (bandwidth).
+        for_(
+            j,
+            c(0),
+            c(f2),
+            1,
+            vec![for_(
+                i,
+                c(0),
+                c(f1),
+                1,
+                vec![
+                    assign(acc, add(var(acc), load(arr(tds, vec![var(j), var(i)])))),
+                    work(2),
+                ],
+            )],
+        ),
+        // Match phase: for each f1 element, walk all categories via the
+        // heap rows — the transposed heap-array access of Table 6.
+        for_(
+            i,
+            c(0),
+            c(f1),
+            1,
+            vec![for_(
+                j,
+                c(0),
+                c(f2),
+                1,
+                vec![
+                    assign(row, load(arr(bus, vec![var(j)]))),
+                    assign(
+                        acc,
+                        add(var(acc), load(ptr_index(var(row), ElemTy::F64, var(i)))),
+                    ),
+                ],
+            )],
+        ),
+    ];
+    let program = pb.finish(body);
+
+    let mut heap = util::heap();
+    let mut memory = grp_mem::Memory::new();
+    let mut bindings = program.bindings();
+    let tds_base = heap.alloc_array((f2 * f1) as u64, 8);
+    bindings.bind_array(tds, tds_base);
+    let bus_base = heap.alloc_array(f2 as u64, 8);
+    bindings.bind_array(bus, bus_base);
+    for k in 0..f2 {
+        let row = heap.alloc_array(f1 as u64, 8);
+        memory.write_u64(bus_base.offset(k * 8), row.0);
+    }
+
+    BuiltWorkload {
+        program,
+        bindings,
+        memory,
+        heap: heap.range(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use grp_compiler::{census, AnalysisConfig};
+    use grp_core::{Scheme, SimConfig};
+
+    #[test]
+    fn hint_profile_mixes_spatial_and_pointer() {
+        let b = build(Scale::Test);
+        let cs = census(&b.program, &b.hints(&AnalysisConfig::default()));
+        // Table 3 gives art a high ratio (77.6%) with both spatial and
+        // pointer hints (the heap row pointers).
+        assert!(cs.spatial >= 2);
+        assert!(cs.pointer >= 1, "bus[j] is a spatial heap pointer array");
+        assert!(cs.hinted_ratio() > 0.5);
+    }
+
+    #[test]
+    fn art_remains_memory_bound_under_grp() {
+        let b = build(Scale::Small);
+        let cfg = SimConfig::paper();
+        let grp = b.run(Scheme::GrpVar, &cfg);
+        let perfect = b.run(Scheme::PerfectL2, &cfg);
+        assert!(
+            grp.gap_vs_perfect(&perfect) > 10.0,
+            "art stays far from perfect L2 (bandwidth bound): {:.1}%",
+            grp.gap_vs_perfect(&perfect)
+        );
+    }
+
+    #[test]
+    fn wider_channels_help_art() {
+        // §5.5's bandwidth observation: doubling channels shrinks the gap.
+        let b = build(Scale::Test);
+        let mut narrow = SimConfig::paper();
+        narrow.dram.channels = 2;
+        let mut wide = SimConfig::paper();
+        wide.dram.channels = 8;
+        let slow = b.run(Scheme::GrpVar, &narrow);
+        let fast = b.run(Scheme::GrpVar, &wide);
+        assert!(fast.cycles < slow.cycles);
+    }
+}

@@ -1,0 +1,24 @@
+//! The benchmark kernels, one module per SPEC CPU2000 program (plus
+//! sphinx). Each module's docs state which paper-documented behaviour it
+//! reproduces; DESIGN.md carries the full substitution table.
+
+pub mod ammp;
+pub mod applu;
+pub mod apsi;
+pub mod art;
+pub mod bzip2;
+pub mod crafty;
+pub mod equake;
+pub mod gap;
+pub mod gzip;
+pub mod mcf;
+pub mod mesa;
+pub mod mgrid;
+pub mod parser;
+pub mod sphinx;
+pub mod swim;
+pub mod twolf;
+pub mod vpr;
+pub mod wupwise;
+
+pub(crate) mod util;

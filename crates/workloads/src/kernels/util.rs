@@ -1,0 +1,99 @@
+//! Shared setup helpers for the kernels.
+
+use grp_mem::{Addr, HeapAllocator, Memory};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// All workloads place their heap at the same base; the pointer
+/// base-and-bounds test uses the allocator's high-water mark.
+pub const HEAP_BASE: Addr = Addr(0x1000_0000);
+
+/// A fresh heap allocator at the standard base.
+pub fn heap() -> HeapAllocator {
+    HeapAllocator::new(HEAP_BASE)
+}
+
+/// A deterministic RNG; `salt` separates workloads.
+pub fn rng(salt: u64) -> SmallRng {
+    SmallRng::seed_from_u64(0x5eed_0000 ^ salt)
+}
+
+/// Initializes `n` little-endian `i32`s at `base` from a function of the
+/// index.
+pub fn fill_i32(mem: &mut Memory, base: Addr, n: u64, mut f: impl FnMut(u64) -> i32) {
+    for i in 0..n {
+        mem.write_i32(base.offset(i as i64 * 4), f(i));
+    }
+}
+
+/// Initializes `n` `f64`s at `base`.
+pub fn fill_f64(mem: &mut Memory, base: Addr, n: u64, mut f: impl FnMut(u64) -> f64) {
+    for i in 0..n {
+        mem.write_f64(base.offset(i as i64 * 8), f(i));
+    }
+}
+
+/// A random permutation of `0..n`.
+pub fn permutation(r: &mut SmallRng, n: u64) -> Vec<u32> {
+    let mut v: Vec<u32> = (0..n as u32).collect();
+    // Fisher–Yates.
+    for i in (1..v.len()).rev() {
+        let j = r.gen_range(0..=i);
+        v.swap(i, j);
+    }
+    v
+}
+
+/// Plants a singly-linked list of `n` nodes of `node_size` bytes with the
+/// `next` pointer at byte offset `next_off`, in the given address order.
+/// Returns the head address. The final node's next pointer is null.
+pub fn link_chain(mem: &mut Memory, nodes: &[Addr], next_off: u64) -> Addr {
+    for w in nodes.windows(2) {
+        mem.write_u64(w[0].offset(next_off as i64), w[1].0);
+    }
+    if let Some(last) = nodes.last() {
+        mem.write_u64(last.offset(next_off as i64), 0);
+    }
+    nodes.first().copied().unwrap_or(Addr(0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn permutation_is_a_permutation() {
+        let mut r = rng(1);
+        let p = permutation(&mut r, 100);
+        let mut sorted = p.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<u32>>());
+    }
+
+    #[test]
+    fn link_chain_plants_pointers() {
+        let mut mem = Memory::new();
+        let nodes = vec![Addr(0x1000), Addr(0x2000), Addr(0x3000)];
+        let head = link_chain(&mut mem, &nodes, 8);
+        assert_eq!(head, Addr(0x1000));
+        assert_eq!(mem.read_u64(Addr(0x1008)), 0x2000);
+        assert_eq!(mem.read_u64(Addr(0x2008)), 0x3000);
+        assert_eq!(mem.read_u64(Addr(0x3008)), 0);
+    }
+
+    #[test]
+    fn fill_helpers_write_expected_values() {
+        let mut mem = Memory::new();
+        fill_i32(&mut mem, Addr(0x1000), 4, |i| i as i32 * 2);
+        assert_eq!(mem.read_i32(Addr(0x1008)), 4);
+        fill_f64(&mut mem, Addr(0x2000), 2, |i| i as f64 + 0.5);
+        assert_eq!(mem.read_f64(Addr(0x2008)), 1.5);
+    }
+
+    #[test]
+    fn rng_is_deterministic() {
+        let a: u64 = rng(7).gen();
+        let b: u64 = rng(7).gen();
+        assert_eq!(a, b);
+    }
+}

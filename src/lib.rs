@@ -1,0 +1,36 @@
+//! # grp — Guided Region Prefetching
+//!
+//! A full-system Rust reproduction of *"Guided Region Prefetching: A
+//! Cooperative Hardware/Software Approach"* (Wang, Burger, McKinley,
+//! Reinhardt, Weems — ISCA 2003).
+//!
+//! This facade crate re-exports the workspace members:
+//!
+//! * [`mem`] — memory substrate: functional memory, caches, MSHRs, DRAM.
+//! * [`cpu`] — trace-driven out-of-order core timing model.
+//! * [`ir`] — loop-structured compiler IR and interpreter.
+//! * [`compiler`] — Scale-style analyses generating the GRP hints.
+//! * [`core`] — the prefetch engines (stride, SRP, GRP) and the simulator.
+//! * [`workloads`] — SPEC CPU2000-style kernels expressed in the IR.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use grp::core::{Scheme, SimConfig};
+//! use grp::workloads::{by_name, Scale};
+//!
+//! // Build a small workload, compile it (deriving hints), and simulate.
+//! let wl = by_name("swim").expect("known workload");
+//! let built = wl.build(Scale::Test);
+//! let result = built.run(Scheme::GrpVar, &SimConfig::paper());
+//! assert!(result.ipc() > 0.0);
+//! ```
+
+#![deny(missing_docs)]
+
+pub use grp_compiler as compiler;
+pub use grp_core as core;
+pub use grp_cpu as cpu;
+pub use grp_ir as ir;
+pub use grp_mem as mem;
+pub use grp_workloads as workloads;
