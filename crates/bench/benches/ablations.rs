@@ -6,7 +6,7 @@
 //! outcome metrics (cycles, traffic) are printed once so the qualitative
 //! effect of the knob is visible in the bench log.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use grp_testkit::bench::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use grp_core::{Scheme, SimConfig};
 use grp_workloads::{by_name, Scale};
 

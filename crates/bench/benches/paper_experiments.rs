@@ -1,11 +1,11 @@
-//! Criterion benches: one per table/figure of the paper's evaluation.
+//! Micro-benches: one per table/figure of the paper's evaluation.
 //!
-//! Each bench regenerates its experiment at Test scale (the statistical
-//! machinery of Criterion makes simulator throughput regressions
-//! visible); the experiment's *contents* — the paper-shape numbers — are
-//! produced by the `src/bin/*` binaries and recorded in EXPERIMENTS.md.
+//! Each bench regenerates its experiment at Test scale (repeated timed
+//! samples make simulator throughput regressions visible); the
+//! experiment's *contents* — the paper-shape numbers — are produced by
+//! the `src/bin/*` binaries and recorded in EXPERIMENTS.md.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use grp_testkit::bench::{criterion_group, criterion_main, Criterion};
 use grp_bench::{experiments, Suite, SuiteScale};
 use grp_workloads::BenchClass;
 

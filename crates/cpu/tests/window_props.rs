@@ -2,7 +2,8 @@
 //! must hold for any dispatch schedule.
 
 use grp_cpu::{Window, WindowConfig};
-use proptest::prelude::*;
+use grp_testkit::proptest;
+use grp_testkit::proptest::prelude::*;
 
 #[derive(Debug, Clone)]
 enum Op {

@@ -5,7 +5,8 @@ use grp_mem::{
     Addr, BlockAddr, Cache, CacheConfig, Dram, DramConfig, HeapAllocator, InsertPriority,
     LookupResult, Memory, RequestKind,
 };
-use proptest::prelude::*;
+use grp_testkit::proptest;
+use grp_testkit::proptest::prelude::*;
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(96))]

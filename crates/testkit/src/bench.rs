@@ -1,0 +1,275 @@
+//! A `std::time`-based micro-bench harness with a criterion-compatible
+//! surface.
+//!
+//! Bench targets keep `harness = false` and the familiar shape:
+//! `criterion_group!` / `criterion_main!`, benchmark groups,
+//! `sample_size`, `bench_function`, `bench_with_input`, and
+//! `BenchmarkId`. Two execution modes, matching criterion's contract
+//! with cargo:
+//!
+//! - `cargo bench` passes `--bench`: every benchmark runs a warmup
+//!   iteration plus `sample_size` timed samples and prints
+//!   median/min/max.
+//! - `cargo test` runs the same binary *without* `--bench`: every
+//!   benchmark body executes exactly once as a smoke test, so the
+//!   tier-1 gate stays fast but still type-checks and exercises each
+//!   experiment.
+//!
+//! A positional CLI argument filters benchmarks by substring, like
+//! `cargo bench -- fig9`.
+
+use std::time::{Duration, Instant};
+
+/// Harness entry point, named for drop-in compatibility.
+pub struct Criterion {
+    bench_mode: bool,
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let args: Vec<String> = std::env::args().skip(1).collect();
+        Criterion {
+            bench_mode: args.iter().any(|a| a == "--bench"),
+            filter: args.iter().find(|a| !a.starts_with('-')).cloned(),
+        }
+    }
+}
+
+impl Criterion {
+    /// Starts a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            c: self,
+            name: name.into(),
+            sample_size: 10,
+        }
+    }
+
+    /// Runs a single ungrouped benchmark.
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        run_one(self.bench_mode, self.filter.as_deref(), id.into().0, 10, f);
+        self
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix and sample size.
+pub struct BenchmarkGroup<'a> {
+    c: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark (bench mode only).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Runs `f` as the benchmark `group/id`.
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let label = format!("{}/{}", self.name, id.into().0);
+        run_one(
+            self.c.bench_mode,
+            self.c.filter.as_deref(),
+            label,
+            self.sample_size,
+            f,
+        );
+        self
+    }
+
+    /// Runs `f(bencher, input)` as the benchmark `group/id`.
+    pub fn bench_with_input<I>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// Ends the group (kept for criterion surface parity).
+    pub fn finish(self) {}
+}
+
+/// A benchmark label; `from_parameter` renders a parameter value.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId(pub String);
+
+impl BenchmarkId {
+    /// `name/parameter`.
+    pub fn new(name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId(format!("{}/{}", name.into(), parameter))
+    }
+
+    /// Just the parameter, for groups whose name already says what
+    /// varies.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId(parameter.to_string())
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId(s.to_string())
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId(s)
+    }
+}
+
+/// Times the body passed to [`Bencher::iter`].
+pub struct Bencher {
+    bench_mode: bool,
+    sample_size: usize,
+    samples: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Runs and times `f`. In bench mode: one warmup call, then
+    /// `sample_size` timed calls. In test (smoke) mode: exactly one
+    /// call, untimed reporting.
+    pub fn iter<O>(&mut self, mut f: impl FnMut() -> O) {
+        if !self.bench_mode {
+            std::hint::black_box(f());
+            return;
+        }
+        std::hint::black_box(f());
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            std::hint::black_box(f());
+            self.samples.push(start.elapsed());
+        }
+    }
+}
+
+fn run_one(
+    bench_mode: bool,
+    filter: Option<&str>,
+    label: String,
+    sample_size: usize,
+    mut f: impl FnMut(&mut Bencher),
+) {
+    if let Some(filt) = filter {
+        if !label.contains(filt) {
+            return;
+        }
+    }
+    let mut b = Bencher {
+        bench_mode,
+        sample_size,
+        samples: Vec::new(),
+    };
+    f(&mut b);
+    if !bench_mode {
+        println!("smoke {label} ... ok");
+        return;
+    }
+    let mut sorted = b.samples.clone();
+    sorted.sort();
+    match sorted.as_slice() {
+        [] => println!("bench {label:<44} (no samples: iter never called)"),
+        samples => {
+            let median = samples[samples.len() / 2];
+            let min = samples[0];
+            let max = samples[samples.len() - 1];
+            println!(
+                "bench {label:<44} median {:>10} min {:>10} max {:>10} ({} samples)",
+                fmt_duration(median),
+                fmt_duration(min),
+                fmt_duration(max),
+                samples.len(),
+            );
+        }
+    }
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2} µs", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.2} s", ns as f64 / 1e9)
+    }
+}
+
+pub use crate::{criterion_group, criterion_main};
+
+/// Bundles benchmark functions into a runnable group function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut c = $crate::bench::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// The `fn main` of a `harness = false` bench target.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_mode_runs_body_exactly_once() {
+        let mut calls = 0;
+        run_one(false, None, "probe".into(), 10, |b| {
+            b.iter(|| calls += 1);
+        });
+        assert_eq!(calls, 1);
+    }
+
+    #[test]
+    fn bench_mode_runs_warmup_plus_samples() {
+        let mut calls = 0;
+        run_one(true, None, "probe".into(), 5, |b| {
+            b.iter(|| calls += 1);
+        });
+        assert_eq!(calls, 6);
+    }
+
+    #[test]
+    fn filter_skips_nonmatching_benchmarks() {
+        let mut calls = 0;
+        run_one(true, Some("other"), "probe".into(), 5, |b| {
+            b.iter(|| calls += 1);
+        });
+        assert_eq!(calls, 0);
+    }
+
+    #[test]
+    fn duration_formatting_scales() {
+        assert_eq!(fmt_duration(Duration::from_nanos(12)), "12 ns");
+        assert_eq!(fmt_duration(Duration::from_micros(3)), "3.00 µs");
+        assert_eq!(fmt_duration(Duration::from_millis(250)), "250.00 ms");
+        assert_eq!(fmt_duration(Duration::from_secs(2)), "2.00 s");
+    }
+}

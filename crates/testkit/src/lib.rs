@@ -1,0 +1,30 @@
+//! Hermetic test substrate for the GRP reproduction.
+//!
+//! The paper's evaluation (Tables 1–6, Figures 1/9–12) rests on
+//! deterministic, repeatable simulation: SRP, GRP, and the stride
+//! baseline are only comparable if every run of a workload produces the
+//! identical access trace. This crate gives the workspace a test
+//! substrate it fully owns — no registry, no network, no
+//! version-resolution drift:
+//!
+//! - [`rng`] — a splitmix64-seeded xoshiro256** PRNG with the
+//!   `seed_from_u64` / `gen_range` / `shuffle` surface the workload
+//!   kernels use to plant their data structures.
+//! - [`proptest`] — a minimal property-testing harness (integer, vec,
+//!   and tuple generators; fixed-seed case iteration; greedy shrinking)
+//!   behind a `proptest!`-compatible macro front end.
+//! - [`bench`] — a `std::time`-based micro-bench harness with a
+//!   criterion-compatible surface (`criterion_group!`, benchmark
+//!   groups, `--bench` detection).
+//!
+//! Everything is seeded explicitly; nothing reads the OS entropy pool,
+//! the clock (outside of bench timing), or the environment (outside of
+//! bench CLI args). Two runs of any test binary are bit-identical.
+
+#![deny(missing_docs)]
+
+pub mod bench;
+pub mod proptest;
+pub mod rng;
+
+pub use rng::Rng;

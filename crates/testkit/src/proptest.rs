@@ -1,0 +1,643 @@
+//! A minimal property-testing harness with a proptest-compatible
+//! front end.
+//!
+//! The surface intentionally mirrors the subset of `proptest` the
+//! workspace's suites use, so the test files read identically:
+//!
+//! - strategies: integer ranges (`0u64..4096`, `1i64..=24`),
+//!   [`any`]`::<T>()`, tuples of strategies, [`collection::vec`],
+//!   [`Strategy::prop_map`], and [`prop_oneof!`](crate::prop_oneof)
+//!   unions;
+//! - the [`proptest!`](crate::proptest!) macro with an optional
+//!   `#![proptest_config(ProptestConfig::with_cases(N))]` header;
+//! - `prop_assert!` / `prop_assert_eq!` / `prop_assert_ne!`.
+//!
+//! Every test derives its generator seed from a fixed workspace seed
+//! XOR a hash of the test's name: runs are bit-identical across
+//! machines and invocations, and one test's case count never perturbs
+//! another's stream. On failure the runner greedily shrinks the input
+//! (truncating and element-dropping vectors, halving integers toward
+//! their lower bound) and panics with the minimal failing input.
+
+use crate::rng::{Rng, SampleUniform};
+use std::fmt::Debug;
+use std::marker::PhantomData;
+use std::ops::{Range, RangeInclusive};
+
+/// Runner configuration, named for drop-in compatibility.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of random cases each property is checked against.
+    pub cases: u32,
+    /// Upper bound on shrink-candidate executions after a failure.
+    pub max_shrink_iters: u32,
+    /// Workspace base seed; each test XORs in a hash of its name.
+    pub seed: u64,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig {
+            cases: 256,
+            max_shrink_iters: 2048,
+            seed: 0x5eed_7e57_0000_0000,
+        }
+    }
+}
+
+impl ProptestConfig {
+    /// The default configuration with `cases` random cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig {
+            cases,
+            ..Default::default()
+        }
+    }
+}
+
+/// A generator of random values plus a shrinker for failing ones.
+pub trait Strategy {
+    /// The generated type.
+    type Value: Clone + Debug;
+
+    /// Generates one value.
+    fn new_value(&self, rng: &mut Rng) -> Self::Value;
+
+    /// Candidate simplifications of `value`, simplest first. The
+    /// runner keeps any candidate that still fails and recurses; an
+    /// empty vec ends shrinking.
+    fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+        let _ = value;
+        Vec::new()
+    }
+
+    /// A strategy producing `f(value)`. Mapped values do not shrink
+    /// (the mapping is not invertible in general).
+    fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        U: Clone + Debug,
+        F: Fn(Self::Value) -> U,
+    {
+        Map { base: self, f }
+    }
+
+    /// Type-erases the strategy (used by `prop_oneof!`).
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        Box::new(self)
+    }
+}
+
+/// A type-erased strategy.
+pub type BoxedStrategy<T> = Box<dyn Strategy<Value = T>>;
+
+impl<T: Clone + Debug> Strategy for BoxedStrategy<T> {
+    type Value = T;
+
+    fn new_value(&self, rng: &mut Rng) -> T {
+        (**self).new_value(rng)
+    }
+
+    fn shrink(&self, value: &T) -> Vec<T> {
+        (**self).shrink(value)
+    }
+}
+
+/// Shrink candidates for an integer `v`, moving toward `low`.
+fn shrink_int_toward<T: SampleUniform>(low: T, v: T) -> Vec<T>
+where
+    T: TryInto<i128> + Copy,
+    i128: TryInto<T>,
+{
+    let (Ok(lo), Ok(val)) = (low.try_into(), v.try_into()) else {
+        return Vec::new();
+    };
+    if val == lo {
+        return Vec::new();
+    }
+    let mut out: Vec<i128> = vec![lo, lo + (val - lo) / 2, val - (val - lo).signum()];
+    out.dedup();
+    out.into_iter()
+        .filter(|&c| c != val)
+        .filter_map(|c| c.try_into().ok())
+        .collect()
+}
+
+impl<T> Strategy for Range<T>
+where
+    T: SampleUniform + Clone + Debug + TryInto<i128> + Copy,
+    i128: TryInto<T>,
+{
+    type Value = T;
+
+    fn new_value(&self, rng: &mut Rng) -> T {
+        rng.gen_range(self.clone())
+    }
+
+    fn shrink(&self, value: &T) -> Vec<T> {
+        shrink_int_toward(self.start, *value)
+    }
+}
+
+impl<T> Strategy for RangeInclusive<T>
+where
+    T: SampleUniform + Clone + Debug + TryInto<i128> + Copy,
+    i128: TryInto<T>,
+{
+    type Value = T;
+
+    fn new_value(&self, rng: &mut Rng) -> T {
+        rng.gen_range(self.clone())
+    }
+
+    fn shrink(&self, value: &T) -> Vec<T> {
+        shrink_int_toward(*self.start(), *value)
+    }
+}
+
+/// Types with a canonical full-domain strategy (see [`any`]).
+pub trait Arbitrary: Clone + Debug + Sized {
+    /// One uniformly random value.
+    fn arbitrary(rng: &mut Rng) -> Self;
+
+    /// Candidate simplifications, simplest first.
+    fn shrink_value(&self) -> Vec<Self> {
+        Vec::new()
+    }
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),+) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut Rng) -> $t {
+                rng.gen()
+            }
+
+            fn shrink_value(&self) -> Vec<$t> {
+                shrink_int_toward(0, *self)
+            }
+        }
+    )+};
+}
+
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut Rng) -> bool {
+        rng.gen()
+    }
+
+    fn shrink_value(&self) -> Vec<bool> {
+        if *self {
+            vec![false]
+        } else {
+            Vec::new()
+        }
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut Rng) -> f64 {
+        rng.gen()
+    }
+}
+
+/// The full-domain strategy for `T` — `any::<u64>()`, `any::<bool>()`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(PhantomData)
+}
+
+/// See [`any`].
+#[derive(Clone, Debug)]
+pub struct Any<T>(PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn new_value(&self, rng: &mut Rng) -> T {
+        T::arbitrary(rng)
+    }
+
+    fn shrink(&self, value: &T) -> Vec<T> {
+        value.shrink_value()
+    }
+}
+
+/// See [`Strategy::prop_map`].
+#[derive(Clone, Debug)]
+pub struct Map<S, F> {
+    base: S,
+    f: F,
+}
+
+impl<S, U, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    U: Clone + Debug,
+    F: Fn(S::Value) -> U,
+{
+    type Value = U;
+
+    fn new_value(&self, rng: &mut Rng) -> U {
+        (self.f)(self.base.new_value(rng))
+    }
+}
+
+/// A choice among strategies of a common value type; built by
+/// [`prop_oneof!`](crate::prop_oneof).
+pub struct Union<T> {
+    options: Vec<BoxedStrategy<T>>,
+}
+
+impl<T: Clone + Debug> Union<T> {
+    /// A union over `options`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `options` is empty.
+    pub fn new(options: Vec<BoxedStrategy<T>>) -> Self {
+        assert!(!options.is_empty(), "prop_oneof! needs at least one option");
+        Union { options }
+    }
+}
+
+impl<T: Clone + Debug> Strategy for Union<T> {
+    type Value = T;
+
+    fn new_value(&self, rng: &mut Rng) -> T {
+        let i = rng.gen_range(0..self.options.len());
+        self.options[i].new_value(rng)
+    }
+
+    fn shrink(&self, value: &T) -> Vec<T> {
+        // Which option produced the value is unknown; offer every
+        // option's candidates (spurious ones are just re-tested).
+        self.options.iter().flat_map(|o| o.shrink(value)).collect()
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($($S:ident . $idx:tt),+) => {
+        impl<$($S: Strategy),+> Strategy for ($($S,)+) {
+            type Value = ($($S::Value,)+);
+
+            fn new_value(&self, rng: &mut Rng) -> Self::Value {
+                ($(self.$idx.new_value(rng),)+)
+            }
+
+            fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+                let mut out = Vec::new();
+                $(
+                    for cand in self.$idx.shrink(&value.$idx) {
+                        let mut c = value.clone();
+                        c.$idx = cand;
+                        out.push(c);
+                    }
+                )+
+                out
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A.0);
+impl_tuple_strategy!(A.0, B.1);
+impl_tuple_strategy!(A.0, B.1, C.2);
+impl_tuple_strategy!(A.0, B.1, C.2, D.3);
+impl_tuple_strategy!(A.0, B.1, C.2, D.3, E.4);
+impl_tuple_strategy!(A.0, B.1, C.2, D.3, E.4, F.5);
+
+/// Collection strategies (`proptest::collection::vec`).
+pub mod collection {
+    use super::*;
+
+    /// An inclusive length range for generated collections.
+    #[derive(Clone, Copy, Debug)]
+    pub struct SizeRange {
+        /// Minimum length.
+        pub min: usize,
+        /// Maximum length, inclusive.
+        pub max_incl: usize,
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty collection size range");
+            SizeRange {
+                min: r.start,
+                max_incl: r.end - 1,
+            }
+        }
+    }
+
+    impl From<RangeInclusive<usize>> for SizeRange {
+        fn from(r: RangeInclusive<usize>) -> Self {
+            assert!(r.start() <= r.end(), "empty collection size range");
+            SizeRange {
+                min: *r.start(),
+                max_incl: *r.end(),
+            }
+        }
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange {
+                min: n,
+                max_incl: n,
+            }
+        }
+    }
+
+    /// A strategy for `Vec`s whose elements come from `element` and
+    /// whose length is drawn from `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    /// See [`vec`].
+    #[derive(Clone, Debug)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn new_value(&self, rng: &mut Rng) -> Vec<S::Value> {
+            let len = rng.gen_range(self.size.min..=self.size.max_incl);
+            (0..len).map(|_| self.element.new_value(rng)).collect()
+        }
+
+        fn shrink(&self, value: &Vec<S::Value>) -> Vec<Vec<S::Value>> {
+            let mut out = Vec::new();
+            let min = self.size.min;
+            if value.len() > min {
+                // Aggressive truncations first, then single drops.
+                out.push(value[..min].to_vec());
+                let half = (value.len() / 2).max(min);
+                if half < value.len() && half > min {
+                    out.push(value[..half].to_vec());
+                }
+                for i in 0..value.len() {
+                    let mut c = value.clone();
+                    c.remove(i);
+                    out.push(c);
+                }
+            }
+            for i in 0..value.len() {
+                for cand in self.element.shrink(&value[i]) {
+                    let mut c = value.clone();
+                    c[i] = cand;
+                    out.push(c);
+                }
+            }
+            out
+        }
+    }
+}
+
+/// FNV-1a, used to give each property its own seed stream.
+pub fn hash_name(name: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+/// Renders a caught panic payload.
+pub fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else {
+        "<non-string panic payload>".to_string()
+    }
+}
+
+/// Drives one property: `cfg.cases` random cases, then greedy
+/// shrinking on the first failure. Called by the
+/// [`proptest!`](crate::proptest!) macro; not meant for direct use.
+///
+/// # Panics
+///
+/// Panics (failing the enclosing `#[test]`) if any case fails, after
+/// shrinking, with the minimal failing input in the message.
+pub fn run_proptest<S, F>(test_name: &str, cfg: &ProptestConfig, strat: &S, mut run: F)
+where
+    S: Strategy,
+    F: FnMut(&S::Value) -> Result<(), String>,
+{
+    let mut rng = Rng::seed_from_u64(cfg.seed ^ hash_name(test_name));
+    for case in 0..cfg.cases {
+        let value = strat.new_value(&mut rng);
+        let Err(first_msg) = run(&value) else {
+            continue;
+        };
+        let mut current = value;
+        let mut msg = first_msg;
+        let mut tested = 0u32;
+        'shrinking: while tested < cfg.max_shrink_iters {
+            let mut improved = false;
+            for cand in strat.shrink(&current) {
+                if tested >= cfg.max_shrink_iters {
+                    break 'shrinking;
+                }
+                tested += 1;
+                if let Err(m) = run(&cand) {
+                    current = cand;
+                    msg = m;
+                    improved = true;
+                    break;
+                }
+            }
+            if !improved {
+                break;
+            }
+        }
+        panic!(
+            "property '{test_name}' failed (case {case} of {cases}, \
+             {tested} shrink steps): {msg}\nminimal failing input: {current:#?}",
+            cases = cfg.cases,
+        );
+    }
+}
+
+/// The names test files import via `use …::proptest::prelude::*;`.
+pub mod prelude {
+    pub use super::{
+        any, Any, Arbitrary, BoxedStrategy, Map, ProptestConfig, Strategy, Union,
+    };
+    pub use crate::rng::Rng as TestRng;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Defines property tests.
+///
+/// Mirrors proptest's macro for the supported shapes:
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(64))]
+///
+///     #[test]
+///     fn my_property(xs in proptest::collection::vec(0u64..10, 1..50), flip in any::<bool>()) {
+///         prop_assert!(xs.len() < 50 || flip);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest! { @with_config ($cfg) $($rest)* }
+    };
+    (@with_config ($cfg:expr) $(
+        $(#[$meta:meta])*
+        fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block
+    )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __cfg: $crate::proptest::ProptestConfig = $cfg;
+                let __strat = ($($strat,)+);
+                $crate::proptest::run_proptest(
+                    ::core::stringify!($name),
+                    &__cfg,
+                    &__strat,
+                    |__value| {
+                        let ($($pat,)+) = ::core::clone::Clone::clone(__value);
+                        match ::std::panic::catch_unwind(
+                            ::std::panic::AssertUnwindSafe(move || $body),
+                        ) {
+                            ::core::result::Result::Ok(()) => ::core::result::Result::Ok(()),
+                            ::core::result::Result::Err(e) => ::core::result::Result::Err(
+                                $crate::proptest::panic_message(e),
+                            ),
+                        }
+                    },
+                );
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest! {
+            @with_config ($crate::proptest::ProptestConfig::default()) $($rest)*
+        }
+    };
+}
+
+/// `assert!` under a name the ported suites already use. Failures are
+/// caught by the runner and drive shrinking.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => { ::std::assert!($cond) };
+    ($cond:expr, $($fmt:tt)+) => { ::std::assert!($cond, $($fmt)+) };
+}
+
+/// `assert_eq!` for property bodies.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => { ::std::assert_eq!($left, $right) };
+    ($left:expr, $right:expr, $($fmt:tt)+) => { ::std::assert_eq!($left, $right, $($fmt)+) };
+}
+
+/// `assert_ne!` for property bodies.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => { ::std::assert_ne!($left, $right) };
+    ($left:expr, $right:expr, $($fmt:tt)+) => { ::std::assert_ne!($left, $right, $($fmt)+) };
+}
+
+/// A weighted-less choice among strategies with a common value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::proptest::Union::new(::std::vec![
+            $($crate::proptest::Strategy::boxed($strat)),+
+        ])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use crate::proptest;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn vec_lengths_respect_bounds(xs in proptest::collection::vec(0u64..100, 3..10)) {
+            prop_assert!((3..10).contains(&xs.len()));
+            prop_assert!(xs.iter().all(|&x| x < 100));
+        }
+
+        #[test]
+        fn tuples_and_any_work(pair in (1i64..=8, any::<bool>()), n in 0u32..5) {
+            let (v, _flip) = pair;
+            prop_assert!((1..=8).contains(&v));
+            prop_assert!(n < 5);
+        }
+
+        #[test]
+        fn oneof_and_map_generate(v in prop_oneof![
+            (1u64..10).prop_map(|x| x * 2),
+            (50u64..60).prop_map(|x| x + 1),
+        ]) {
+            prop_assert!((2..20).contains(&v) || (51..61).contains(&v));
+        }
+    }
+
+    #[test]
+    fn failing_property_shrinks_to_minimal_vec() {
+        let strat = (super::collection::vec(0u64..100, 0..20),);
+        let caught = std::panic::catch_unwind(|| {
+            super::run_proptest(
+                "shrink_probe",
+                &ProptestConfig::with_cases(200),
+                &strat,
+                |(xs,)| {
+                    if xs.iter().any(|&x| x >= 10) {
+                        Err("element >= 10".into())
+                    } else {
+                        Ok(())
+                    }
+                },
+            );
+        });
+        let msg = super::panic_message(caught.expect_err("property must fail"));
+        // Greedy shrinking must reach the canonical minimal input: a
+        // single element of exactly 10.
+        assert!(msg.contains("10"), "unexpected shrink result: {msg}");
+        assert!(msg.contains("shrink"), "runner reports shrink steps: {msg}");
+    }
+
+    #[test]
+    fn runs_are_reproducible() {
+        let strat = (super::collection::vec(0u64..1000, 1..50),);
+        let mut a = Vec::new();
+        let mut b = Vec::new();
+        for out in [&mut a, &mut b] {
+            super::run_proptest(
+                "repro_probe",
+                &ProptestConfig::with_cases(16),
+                &strat,
+                |(xs,)| {
+                    out.push(xs.clone());
+                    Ok(())
+                },
+            );
+        }
+        assert_eq!(a, b, "same test name + config ⇒ same case stream");
+    }
+}

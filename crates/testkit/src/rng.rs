@@ -1,0 +1,330 @@
+//! Deterministic PRNG: xoshiro256** seeded through splitmix64.
+//!
+//! The workspace convention (see `kernels/util.rs`) is that every
+//! workload derives its generator as `Rng::seed_from_u64(0x5eed_0000 ^
+//! salt)` with a per-workload salt, so traces are reproducible across
+//! runs, machines, and rustc versions. xoshiro256** is Blackman &
+//! Vigna's all-purpose generator: 256 bits of state, period 2^256 − 1,
+//! and no linear artifacts in the starred output. splitmix64 expands
+//! the single `u64` seed into the four state words, which guarantees
+//! the all-zero state (the one point xoshiro cannot leave) is never
+//! produced.
+
+use std::ops::{Range, RangeInclusive};
+
+/// splitmix64: a tiny, fast, 64-bit state generator used only to expand
+/// seeds. Output sequence is Vigna's reference constants.
+#[derive(Clone, Debug)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// A generator starting from `seed`.
+    pub fn new(seed: u64) -> Self {
+        SplitMix64 { state: seed }
+    }
+
+    /// The next 64-bit output.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+/// The workspace's deterministic generator: xoshiro256**.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Rng {
+    s: [u64; 4],
+}
+
+impl Rng {
+    /// Expands `seed` through splitmix64 into the four state words.
+    ///
+    /// This mirrors the `SeedableRng::seed_from_u64` convention, so the
+    /// kernel seeding scheme (`0x5eed_0000 ^ salt`) carries over
+    /// unchanged.
+    pub fn seed_from_u64(seed: u64) -> Self {
+        let mut sm = SplitMix64::new(seed);
+        let mut s = [0u64; 4];
+        for w in &mut s {
+            *w = sm.next_u64();
+        }
+        Rng { s }
+    }
+
+    /// The next 64-bit output (the ** scrambler over state word 1).
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        let s = &mut self.s;
+        let result = s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+
+    /// The next 32-bit output (upper half of the 64-bit output).
+    #[inline]
+    pub fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// A uniformly random value of `T` (full range for integers,
+    /// `[0, 1)` for floats).
+    pub fn gen<T: Random>(&mut self) -> T {
+        T::random(self)
+    }
+
+    /// A uniform sample from `range` (`low..high` or `low..=high` for
+    /// integers, `low..high` for `f64`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    pub fn gen_range<T, R: SampleRange<T>>(&mut self, range: R) -> T {
+        range.sample_from(self)
+    }
+
+    /// `true` with probability `p`.
+    pub fn gen_bool(&mut self, p: f64) -> bool {
+        self.unit_f64() < p
+    }
+
+    /// In-place Fisher–Yates shuffle.
+    pub fn shuffle<T>(&mut self, slice: &mut [T]) {
+        for i in (1..slice.len()).rev() {
+            let j = self.gen_range(0..=i);
+            slice.swap(i, j);
+        }
+    }
+
+    /// A child generator with an independent stream, derived from (and
+    /// advancing) this one. Used by the property-test runner to give
+    /// each case its own stream.
+    pub fn fork(&mut self) -> Rng {
+        Rng::seed_from_u64(self.next_u64())
+    }
+
+    /// A uniform `f64` in `[0, 1)` with 53 bits of precision.
+    #[inline]
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// Types [`Rng::gen`] can produce.
+pub trait Random {
+    /// A uniformly random value.
+    fn random(rng: &mut Rng) -> Self;
+}
+
+macro_rules! impl_random_int {
+    ($($t:ty),+) => {$(
+        impl Random for $t {
+            #[inline]
+            fn random(rng: &mut Rng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )+};
+}
+
+impl_random_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Random for u128 {
+    fn random(rng: &mut Rng) -> u128 {
+        ((rng.next_u64() as u128) << 64) | rng.next_u64() as u128
+    }
+}
+
+impl Random for i128 {
+    fn random(rng: &mut Rng) -> i128 {
+        u128::random(rng) as i128
+    }
+}
+
+impl Random for bool {
+    #[inline]
+    fn random(rng: &mut Rng) -> bool {
+        rng.next_u64() >> 63 == 1
+    }
+}
+
+impl Random for f64 {
+    #[inline]
+    fn random(rng: &mut Rng) -> f64 {
+        rng.unit_f64()
+    }
+}
+
+impl Random for f32 {
+    #[inline]
+    fn random(rng: &mut Rng) -> f32 {
+        (rng.next_u64() >> 40) as f32 * (1.0 / (1u64 << 24) as f32)
+    }
+}
+
+/// Integer types with uniform bounded sampling.
+///
+/// Sampling uses the multiply-shift reduction `(x * span) >> 64`, which
+/// maps the 64-bit output onto `[0, span)` without division. (Its bias
+/// is at most `span / 2^64` — irrelevant for test-data generation, and
+/// worth it for speed and branch-free determinism.)
+pub trait SampleUniform: Copy + PartialOrd + std::fmt::Debug {
+    /// A uniform sample from `[low, high]`.
+    fn sample_inclusive(rng: &mut Rng, low: Self, high: Self) -> Self;
+    /// The predecessor value (used to close `low..high` ranges).
+    fn prev(self) -> Self;
+}
+
+macro_rules! impl_sample_uniform {
+    ($($t:ty),+) => {$(
+        impl SampleUniform for $t {
+            #[inline]
+            fn sample_inclusive(rng: &mut Rng, low: $t, high: $t) -> $t {
+                debug_assert!(low <= high);
+                // Span fits in u128 for every <=64-bit integer type.
+                let span = (high as i128 - low as i128 + 1) as u128;
+                let hi = ((rng.next_u64() as u128).wrapping_mul(span)) >> 64;
+                (low as i128 + hi as i128) as $t
+            }
+            #[inline]
+            fn prev(self) -> $t {
+                self.wrapping_sub(1)
+            }
+        }
+    )+};
+}
+
+impl_sample_uniform!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Range forms [`Rng::gen_range`] accepts.
+pub trait SampleRange<T> {
+    /// Draws one sample.
+    fn sample_from(self, rng: &mut Rng) -> T;
+}
+
+impl<T: SampleUniform> SampleRange<T> for Range<T> {
+    #[inline]
+    fn sample_from(self, rng: &mut Rng) -> T {
+        assert!(self.start < self.end, "gen_range on empty range");
+        T::sample_inclusive(rng, self.start, self.end.prev())
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for RangeInclusive<T> {
+    #[inline]
+    fn sample_from(self, rng: &mut Rng) -> T {
+        let (low, high) = self.into_inner();
+        assert!(low <= high, "gen_range on empty range");
+        T::sample_inclusive(rng, low, high)
+    }
+}
+
+impl SampleRange<f64> for Range<f64> {
+    #[inline]
+    fn sample_from(self, rng: &mut Rng) -> f64 {
+        assert!(self.start < self.end, "gen_range on empty range");
+        self.start + rng.unit_f64() * (self.end - self.start)
+    }
+}
+
+impl SampleRange<f32> for Range<f32> {
+    #[inline]
+    fn sample_from(self, rng: &mut Rng) -> f32 {
+        assert!(self.start < self.end, "gen_range on empty range");
+        self.start + rng.gen::<f32>() * (self.end - self.start)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splitmix_matches_reference_vectors() {
+        // Vigna's reference splitmix64 from seed 1234567.
+        let mut sm = SplitMix64::new(1234567);
+        assert_eq!(sm.next_u64(), 6457827717110365317);
+        assert_eq!(sm.next_u64(), 3203168211198807973);
+    }
+
+    #[test]
+    fn xoshiro_is_deterministic_and_distinct_per_seed() {
+        let a: Vec<u64> = {
+            let mut r = Rng::seed_from_u64(42);
+            (0..8).map(|_| r.next_u64()).collect()
+        };
+        let b: Vec<u64> = {
+            let mut r = Rng::seed_from_u64(42);
+            (0..8).map(|_| r.next_u64()).collect()
+        };
+        let c: Vec<u64> = {
+            let mut r = Rng::seed_from_u64(43);
+            (0..8).map(|_| r.next_u64()).collect()
+        };
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn gen_range_respects_bounds() {
+        let mut r = Rng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let v = r.gen_range(10u64..20);
+            assert!((10..20).contains(&v));
+            let w = r.gen_range(-8i64..=8);
+            assert!((-8..=8).contains(&w));
+            let f = r.gen_range(-1.0f64..1.0);
+            assert!((-1.0..1.0).contains(&f));
+            let u = r.gen_range(0usize..=0);
+            assert_eq!(u, 0);
+        }
+    }
+
+    #[test]
+    fn gen_range_covers_small_spans() {
+        let mut r = Rng::seed_from_u64(11);
+        let mut seen = [false; 9];
+        for _ in 0..1000 {
+            seen[r.gen_range(0usize..9)] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all 9 values reachable: {seen:?}");
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut r = Rng::seed_from_u64(3);
+        let mut v: Vec<u32> = (0..100).collect();
+        r.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<u32>>());
+        assert_ne!(v, (0..100).collect::<Vec<u32>>(), "shuffle moved something");
+    }
+
+    #[test]
+    fn unit_f64_in_unit_interval() {
+        let mut r = Rng::seed_from_u64(5);
+        for _ in 0..10_000 {
+            let f = r.unit_f64();
+            assert!((0.0..1.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn forked_streams_are_independent() {
+        let mut r = Rng::seed_from_u64(9);
+        let mut a = r.fork();
+        let mut b = r.fork();
+        assert_ne!(a.next_u64(), b.next_u64());
+    }
+}

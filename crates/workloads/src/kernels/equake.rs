@@ -66,7 +66,6 @@ pub fn build(scale: Scale) -> BuiltWorkload {
     // Rows allocated back to back (malloc order) — the "regular layout"
     // §3.1 credits for spatial prefetching subsuming pointer schemes.
     let mut r = util::rng(183);
-    use rand::Rng;
     for row_i in 0..rows {
         let nnz = (row_len + r.gen_range(-8..=8)) as u64;
         let row = heap.alloc_array(nnz, 8);

@@ -60,7 +60,6 @@ pub fn build(scale: Scale) -> BuiltWorkload {
     // differs from traversal order: a 4 KB region around one row drags in
     // ~30 blocks of unrelated rows (the Table 4 waste GRP/Var avoids).
     let mut r = util::rng(77);
-    use rand::Rng;
     let slab = heap.alloc(verts as u64 * 256, 64);
     let slots = util::permutation(&mut r, verts as u64);
     for i in 0..verts {

@@ -21,4 +21,4 @@ pub mod twolf;
 pub mod vpr;
 pub mod wupwise;
 
-pub(crate) mod util;
+pub mod util;

@@ -11,7 +11,6 @@ use crate::{BuiltWorkload, Scale};
 use grp_ir::build::*;
 use grp_ir::types::field;
 use grp_ir::{ElemTy, FieldId, ProgramBuilder};
-use rand::Rng;
 
 /// Builds parser at `scale`.
 pub fn build(scale: Scale) -> BuiltWorkload {

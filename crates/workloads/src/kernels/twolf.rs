@@ -12,7 +12,6 @@ use crate::{BuiltWorkload, Scale};
 use grp_ir::build::*;
 use grp_ir::types::field;
 use grp_ir::{ElemTy, FieldId, ProgramBuilder};
-use rand::Rng;
 
 /// Builds twolf at `scale`.
 pub fn build(scale: Scale) -> BuiltWorkload {

@@ -1,8 +1,7 @@
 //! Shared setup helpers for the kernels.
 
 use grp_mem::{Addr, HeapAllocator, Memory};
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use grp_testkit::Rng;
 
 /// All workloads place their heap at the same base; the pointer
 /// base-and-bounds test uses the allocator's high-water mark.
@@ -14,8 +13,8 @@ pub fn heap() -> HeapAllocator {
 }
 
 /// A deterministic RNG; `salt` separates workloads.
-pub fn rng(salt: u64) -> SmallRng {
-    SmallRng::seed_from_u64(0x5eed_0000 ^ salt)
+pub fn rng(salt: u64) -> Rng {
+    Rng::seed_from_u64(0x5eed_0000 ^ salt)
 }
 
 /// Initializes `n` little-endian `i32`s at `base` from a function of the
@@ -34,13 +33,9 @@ pub fn fill_f64(mem: &mut Memory, base: Addr, n: u64, mut f: impl FnMut(u64) -> 
 }
 
 /// A random permutation of `0..n`.
-pub fn permutation(r: &mut SmallRng, n: u64) -> Vec<u32> {
+pub fn permutation(r: &mut Rng, n: u64) -> Vec<u32> {
     let mut v: Vec<u32> = (0..n as u32).collect();
-    // Fisher–Yates.
-    for i in (1..v.len()).rev() {
-        let j = r.gen_range(0..=i);
-        v.swap(i, j);
-    }
+    r.shuffle(&mut v);
     v
 }
 

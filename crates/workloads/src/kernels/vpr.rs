@@ -10,7 +10,6 @@ use crate::kernels::util;
 use crate::{BuiltWorkload, Scale};
 use grp_ir::build::*;
 use grp_ir::{ElemTy, ProgramBuilder};
-use rand::Rng;
 
 /// Builds vpr at `scale`.
 pub fn build(scale: Scale) -> BuiltWorkload {

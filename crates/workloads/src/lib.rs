@@ -51,7 +51,7 @@ pub enum BenchClass {
 /// Problem-size selector.
 ///
 /// `Paper` sizes stress the 1 MB L2 the way the SPEC reference inputs
-/// stressed it; `Small` is for Criterion benches; `Test` keeps unit
+/// stressed it; `Small` is for micro-benches; `Test` keeps unit
 /// tests fast.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum Scale {

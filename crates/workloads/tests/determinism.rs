@@ -1,0 +1,97 @@
+//! Determinism regression tests.
+//!
+//! The paper's entire evaluation method (Tables 1–6, Figures 1/9–12)
+//! compares schemes on *the same access trace*: SRP vs stride vs GRP
+//! numbers are meaningless if two builds of a workload disagree. These
+//! tests pin the workspace convention (seed `0x5eed_0000 ^ salt` in
+//! `kernels/util.rs`, all randomness from `grp_testkit::Rng`): building
+//! and simulating a kernel twice must produce bit-identical traces and
+//! simulator statistics.
+
+use grp_core::{RunResult, Scheme, SimConfig};
+use grp_workloads::{all, Scale};
+
+/// The stats a regression would corrupt first, as one comparable
+/// bundle: trace length, miss counts, and prefetch counts.
+#[derive(Debug, PartialEq)]
+struct Fingerprint {
+    instructions: u64,
+    cycles: u64,
+    l2_demand_misses: u64,
+    l2_useful_prefetches: u64,
+    l2_useless_prefetches: u64,
+    prefetches_issued: u64,
+    traffic_blocks: u64,
+}
+
+impl Fingerprint {
+    fn of(r: &RunResult) -> Self {
+        Fingerprint {
+            instructions: r.instructions,
+            cycles: r.cycles,
+            l2_demand_misses: r.l2.demand_misses,
+            l2_useful_prefetches: r.l2.useful_prefetches,
+            l2_useless_prefetches: r.l2.useless_prefetches,
+            prefetches_issued: r.prefetches_issued,
+            traffic_blocks: r.traffic.total_blocks(),
+        }
+    }
+}
+
+/// Two independent builds + runs of every registered kernel must agree
+/// on every simulator statistic, under both the no-prefetch baseline
+/// and the full GRP scheme.
+#[test]
+fn every_kernel_is_bit_identical_across_builds() {
+    let cfg = SimConfig::paper();
+    for w in all() {
+        for scheme in [Scheme::NoPrefetch, Scheme::GrpVar] {
+            let a = Fingerprint::of(&w.build(Scale::Test).run(scheme, &cfg));
+            let b = Fingerprint::of(&w.build(Scale::Test).run(scheme, &cfg));
+            assert_eq!(
+                a, b,
+                "workload '{}' diverged across identically-seeded builds ({scheme:?})",
+                w.name
+            );
+        }
+    }
+}
+
+/// The interpreted trace itself (not just aggregate stats) must be
+/// reproducible: same length and same per-event sequence.
+#[test]
+fn traces_are_reproducible_event_for_event() {
+    for w in all() {
+        let (ta, _) = w.build(Scale::Test).trace(None);
+        let (tb, _) = w.build(Scale::Test).trace(None);
+        assert_eq!(
+            ta.events().len(),
+            tb.events().len(),
+            "workload '{}' trace length diverged",
+            w.name
+        );
+        assert_eq!(
+            format!("{:?}", ta.events()),
+            format!("{:?}", tb.events()),
+            "workload '{}' trace contents diverged",
+            w.name
+        );
+    }
+}
+
+/// Different salts must give different streams: if two kernels ever
+/// see the same stream, their "independent" data layouts correlate and
+/// the cross-benchmark comparison quietly degrades.
+#[test]
+fn distinct_salts_give_distinct_streams() {
+    use grp_workloads::kernels::util::rng;
+    let a: Vec<u64> = {
+        let mut r = rng(1);
+        (0..4).map(|_| r.next_u64()).collect()
+    };
+    let b: Vec<u64> = {
+        let mut r = rng(2);
+        (0..4).map(|_| r.next_u64()).collect()
+    };
+    assert_ne!(a, b);
+}

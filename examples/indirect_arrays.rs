@@ -16,8 +16,7 @@ use grp::ir::build::*;
 use grp::ir::interp::Interpreter;
 use grp::ir::{ElemTy, ProgramBuilder};
 use grp::mem::{Addr, HeapAllocator, Memory};
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use grp_testkit::Rng;
 
 fn main() {
     let clustered = std::env::args().any(|a| a == "--clustered");
@@ -52,7 +51,7 @@ fn main() {
     let mut heap = HeapAllocator::new(Addr(0x1000_0000));
     let a_base = heap.alloc_array(2 * n as u64, 8);
     let b_base = heap.alloc_array(n as u64, 4);
-    let mut rng = SmallRng::seed_from_u64(42);
+    let mut rng = Rng::seed_from_u64(42);
     let mut pos = 0i64;
     for k in 0..n {
         let idx = if clustered {

@@ -1,0 +1,34 @@
+#!/usr/bin/env bash
+# Tier-1 verification gate, run fully offline to prove the workspace is
+# hermetic: no registry index, no network, no external crates. A clean
+# checkout must pass this on a machine with no crates.io access at all.
+#
+#   scripts/verify.sh            # build + examples + tests, offline
+#
+# CARGO_NET_OFFLINE plus --offline is belt-and-braces: either alone
+# forbids network access; together they also guard against cargo
+# wrappers/aliases dropping one of them.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+export CARGO_NET_OFFLINE=true
+
+echo "== tier-1: release build (offline) =="
+cargo build --release --offline
+
+echo "== examples build (offline) =="
+cargo build --examples --offline
+
+echo "== benches build (offline) =="
+cargo build --benches --offline
+
+echo "== tier-1: test suite (offline) =="
+cargo test -q --offline
+
+echo "== hermeticity: no external registry dependencies =="
+if grep -rn 'rand\|proptest\|criterion' crates/*/Cargo.toml Cargo.toml; then
+    echo "ERROR: external registry dependency found in a manifest" >&2
+    exit 1
+fi
+
+echo "verify.sh: all gates passed with no registry access"

@@ -9,7 +9,8 @@ use grp::ir::build::*;
 use grp::ir::interp::Interpreter;
 use grp::ir::{ElemTy, HintMap, ProgramBuilder};
 use grp::mem::{Addr, BlockAddr, Cache, CacheConfig, HeapRange, InsertPriority, Memory};
-use proptest::prelude::*;
+use grp_testkit::proptest;
+use grp_testkit::proptest::prelude::*;
 
 fn heap() -> HeapRange {
     HeapRange {
