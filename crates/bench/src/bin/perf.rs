@@ -1,0 +1,266 @@
+//! Perf-tracking harness: replays the workload registry and records
+//! simulator throughput, appending one entry per run to the repo-root
+//! `BENCH_perf.json` trajectory so hot-path optimizations can be
+//! claimed against a recorded baseline.
+//!
+//! ```text
+//! cargo run --release -p grp-bench --bin perf -- --scale small
+//!     [--label <name>]      entry label (default "current")
+//!     [--out <path>]        trajectory file (default BENCH_perf.json)
+//!     [--schemes <csv>]     scheme labels (default none,stride,SRP,GRP/Var)
+//!     [--no-write]          print the table, skip the JSON append
+//! cargo run -p grp-bench --bin perf -- --check <path>
+//!     validate an existing trajectory file and exit
+//! ```
+//!
+//! Per (kernel × scheme) the harness builds the workload, derives the
+//! scheme's hinted trace (setup, untimed in the headline metric), then
+//! times `run_trace` alone — the trace-replay inner loop that bounds
+//! every sweep — reporting trace events/sec and simulated cycles/sec.
+
+use std::time::Instant;
+
+use grp_bench::json::Json;
+use grp_bench::suite::scale_from_args;
+use grp_core::{run_trace, Scheme};
+use grp_workloads::all;
+
+/// Default scheme set: one representative of each engine hot path
+/// (no engine, stride stream buffers, hint-blind regions, full GRP).
+const DEFAULT_SCHEMES: [Scheme; 4] = [
+    Scheme::NoPrefetch,
+    Scheme::Stride,
+    Scheme::Srp,
+    Scheme::GrpVar,
+];
+
+fn arg_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+fn scheme_by_label(label: &str) -> Option<Scheme> {
+    Scheme::ALL.into_iter().find(|s| s.label() == label)
+}
+
+struct KernelRow {
+    bench: &'static str,
+    scheme: Scheme,
+    events: u64,
+    sim_cycles: u64,
+    replay_seconds: f64,
+}
+
+impl KernelRow {
+    fn events_per_sec(&self) -> f64 {
+        self.events as f64 / self.replay_seconds.max(1e-9)
+    }
+
+    fn cycles_per_sec(&self) -> f64 {
+        self.sim_cycles as f64 / self.replay_seconds.max(1e-9)
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+
+    if let Some(path) = arg_value(&args, "--check") {
+        match check_trajectory(&path) {
+            Ok(n) => {
+                println!("{path}: OK ({n} entries)");
+            }
+            Err(e) => {
+                eprintln!("{path}: {e}");
+                std::process::exit(1);
+            }
+        }
+        return;
+    }
+
+    let scale = scale_from_args();
+    let label = arg_value(&args, "--label").unwrap_or_else(|| "current".to_string());
+    let out = arg_value(&args, "--out").unwrap_or_else(|| "BENCH_perf.json".to_string());
+    let schemes: Vec<Scheme> = match arg_value(&args, "--schemes") {
+        Some(csv) => csv
+            .split(',')
+            .map(|s| {
+                scheme_by_label(s.trim()).unwrap_or_else(|| {
+                    eprintln!(
+                        "error: unknown scheme '{}' (valid: {})",
+                        s.trim(),
+                        Scheme::ALL.map(|x| x.label()).join(", ")
+                    );
+                    std::process::exit(2);
+                })
+            })
+            .collect(),
+        None => DEFAULT_SCHEMES.to_vec(),
+    };
+    let write = !args.iter().any(|a| a == "--no-write");
+
+    println!(
+        "GRP perf harness — {:?} scale, schemes: {}",
+        scale,
+        schemes.iter().map(|s| s.label()).collect::<Vec<_>>().join(", ")
+    );
+    println!(
+        "{:<10} {:<9} {:>12} {:>14} {:>10} {:>12}",
+        "bench", "scheme", "events", "sim cycles", "replay s", "events/s"
+    );
+
+    let wall_start = Instant::now();
+    let cfg = grp_core::SimConfig::paper();
+    let mut rows: Vec<KernelRow> = Vec::new();
+    let mut setup_seconds = 0.0f64;
+    for w in all() {
+        let t0 = Instant::now();
+        let built = w.build(scale.workload_scale());
+        setup_seconds += t0.elapsed().as_secs_f64();
+        for &scheme in &schemes {
+            let t1 = Instant::now();
+            let cc = scheme.compiler_config();
+            let (trace, mem) = built.trace(cc.as_ref());
+            setup_seconds += t1.elapsed().as_secs_f64();
+            let t2 = Instant::now();
+            let result = run_trace(&trace, &mem, built.heap, scheme, &cfg);
+            let replay_seconds = t2.elapsed().as_secs_f64();
+            let row = KernelRow {
+                bench: w.name,
+                scheme,
+                events: trace.events().len() as u64,
+                sim_cycles: result.cycles,
+                replay_seconds,
+            };
+            println!(
+                "{:<10} {:<9} {:>12} {:>14} {:>10.3} {:>12.0}",
+                row.bench,
+                row.scheme.label(),
+                row.events,
+                row.sim_cycles,
+                row.replay_seconds,
+                row.events_per_sec()
+            );
+            rows.push(row);
+        }
+    }
+    let wall_seconds = wall_start.elapsed().as_secs_f64();
+
+    let events: u64 = rows.iter().map(|r| r.events).sum();
+    let sim_cycles: u64 = rows.iter().map(|r| r.sim_cycles).sum();
+    let replay_seconds: f64 = rows.iter().map(|r| r.replay_seconds).sum();
+    let events_per_sec = events as f64 / replay_seconds.max(1e-9);
+    let cycles_per_sec = sim_cycles as f64 / replay_seconds.max(1e-9);
+    println!(
+        "\ntotal: {events} events in {replay_seconds:.3}s replay \
+         ({setup_seconds:.3}s setup, {wall_seconds:.3}s wall)"
+    );
+    println!("throughput: {events_per_sec:.0} events/s, {cycles_per_sec:.0} simulated cycles/s");
+
+    if !write {
+        return;
+    }
+
+    let entry = Json::object()
+        .set("label", label.as_str())
+        .set("scale", format!("{scale:?}").to_lowercase())
+        .set(
+            "schemes",
+            Json::Array(schemes.iter().map(|s| Json::from(s.label())).collect()),
+        )
+        .set("wall_seconds", wall_seconds)
+        .set("setup_seconds", setup_seconds)
+        .set("replay_seconds", replay_seconds)
+        .set("events", events)
+        .set("sim_cycles", sim_cycles)
+        .set("events_per_sec", events_per_sec)
+        .set("sim_cycles_per_sec", cycles_per_sec)
+        .set(
+            "kernels",
+            Json::Array(
+                rows.iter()
+                    .map(|r| {
+                        Json::object()
+                            .set("bench", r.bench)
+                            .set("scheme", r.scheme.label())
+                            .set("events", r.events)
+                            .set("sim_cycles", r.sim_cycles)
+                            .set("replay_seconds", r.replay_seconds)
+                            .set("events_per_sec", r.events_per_sec())
+                            .set("sim_cycles_per_sec", r.cycles_per_sec())
+                    })
+                    .collect(),
+            ),
+        );
+
+    let mut entries = match std::fs::read_to_string(&out) {
+        Ok(text) => match Json::parse(&text) {
+            Ok(doc) => doc
+                .get("entries")
+                .and_then(|e| e.as_array())
+                .map(|a| a.to_vec())
+                .unwrap_or_else(|| {
+                    eprintln!("error: {out} exists but has no 'entries' array");
+                    std::process::exit(1);
+                }),
+            Err(e) => {
+                eprintln!("error: {out} is not valid JSON ({e}); refusing to overwrite");
+                std::process::exit(1);
+            }
+        },
+        Err(_) => Vec::new(),
+    };
+    entries.push(entry);
+    let doc = Json::object().set("version", 1u64).set("entries", Json::Array(entries));
+    std::fs::write(&out, doc.render()).unwrap_or_else(|e| {
+        eprintln!("error: cannot write {out}: {e}");
+        std::process::exit(1);
+    });
+    println!("appended entry '{label}' to {out}");
+}
+
+/// Validates a trajectory file's structure, returning the entry count.
+fn check_trajectory(path: &str) -> Result<usize, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read: {e}"))?;
+    let doc = Json::parse(&text).map_err(|e| format!("malformed: {e}"))?;
+    let entries = doc
+        .get("entries")
+        .and_then(|e| e.as_array())
+        .ok_or("missing 'entries' array")?;
+    if entries.is_empty() {
+        return Err("no entries recorded".to_string());
+    }
+    for (i, e) in entries.iter().enumerate() {
+        for key in ["label", "scale"] {
+            e.get(key)
+                .and_then(|v| v.as_str())
+                .ok_or(format!("entry {i}: missing string '{key}'"))?;
+        }
+        for key in ["events_per_sec", "sim_cycles_per_sec", "replay_seconds"] {
+            let v = e
+                .get(key)
+                .and_then(|v| v.as_f64())
+                .ok_or(format!("entry {i}: missing number '{key}'"))?;
+            if !v.is_finite() || v <= 0.0 {
+                return Err(format!("entry {i}: '{key}' is not positive"));
+            }
+        }
+        let kernels = e
+            .get("kernels")
+            .and_then(|k| k.as_array())
+            .ok_or(format!("entry {i}: missing 'kernels' array"))?;
+        for (j, k) in kernels.iter().enumerate() {
+            k.get("bench")
+                .and_then(|v| v.as_str())
+                .ok_or(format!("entry {i} kernel {j}: missing 'bench'"))?;
+            k.get("scheme")
+                .and_then(|v| v.as_str())
+                .ok_or(format!("entry {i} kernel {j}: missing 'scheme'"))?;
+            k.get("events_per_sec")
+                .and_then(|v| v.as_f64())
+                .ok_or(format!("entry {i} kernel {j}: missing 'events_per_sec'"))?;
+        }
+    }
+    Ok(entries.len())
+}

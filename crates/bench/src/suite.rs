@@ -38,14 +38,28 @@ impl SuiteScale {
     }
 }
 
-/// Parses `--scale <s>` from argv, defaulting to `Small`.
+/// Parses `--scale <s>` from an argv slice: `Small` when the flag is
+/// absent, an error naming the valid scales on a typo or missing value.
+pub fn parse_scale_args(args: &[String]) -> Result<SuiteScale, String> {
+    let Some(i) = args.iter().position(|a| a == "--scale") else {
+        return Ok(SuiteScale::default());
+    };
+    let Some(s) = args.get(i + 1) else {
+        return Err("--scale requires a value (valid: test, small, paper)".to_string());
+    };
+    SuiteScale::parse(s)
+        .ok_or_else(|| format!("unknown scale '{s}' (valid: test, small, paper)"))
+}
+
+/// Parses `--scale <s>` from argv, defaulting to `Small` when the flag
+/// is absent and exiting with an error on a typo (a silent `Small`
+/// fallback once burned a paper-scale run down to the small inputs).
 pub fn scale_from_args() -> SuiteScale {
     let args: Vec<String> = std::env::args().collect();
-    args.iter()
-        .position(|a| a == "--scale")
-        .and_then(|i| args.get(i + 1))
-        .and_then(|s| SuiteScale::parse(s))
-        .unwrap_or_default()
+    parse_scale_args(&args).unwrap_or_else(|e| {
+        eprintln!("error: {e}");
+        std::process::exit(2);
+    })
 }
 
 /// Memoizing runner over the benchmark registry.
@@ -133,6 +147,8 @@ impl Suite {
             std::sync::Mutex::new(names.to_vec());
         let results: std::sync::Mutex<Vec<(&'static str, Scheme, RunResult)>> =
             std::sync::Mutex::new(Vec::new());
+        let builts: std::sync::Mutex<Vec<(&'static str, BuiltWorkload)>> =
+            std::sync::Mutex::new(Vec::new());
         std::thread::scope(|s| {
             for _ in 0..threads {
                 s.spawn(|| loop {
@@ -150,9 +166,15 @@ impl Suite {
                             .expect("results")
                             .push((name, *scheme, r));
                     }
+                    builts.lock().expect("builts").push((name, built));
                 });
             }
         });
+        // Hand the worker-built workloads to the memo table too: a later
+        // built()/run() for an unmemoized scheme must not rebuild.
+        for (name, built) in builts.into_inner().expect("builts") {
+            self.built.insert(name, built);
+        }
         for (name, scheme, r) in results.into_inner().expect("results") {
             self.results.insert((name, scheme), r);
         }
@@ -196,9 +218,39 @@ mod tests {
         let mut s = Suite::new(SuiteScale::Test);
         s.precompute(&["crafty", "sphinx"], &[Scheme::NoPrefetch, Scheme::PerfectL2]);
         assert_eq!(s.results.len(), 4);
+        // Regression: the worker-built workloads must land in the built
+        // cache too — a later built()/run() for an unmemoized scheme
+        // used to rebuild the whole workload from scratch.
+        assert!(s.built.contains_key("crafty"));
+        assert!(s.built.contains_key("sphinx"));
+        let before = s.built.get("crafty").expect("cached") as *const BuiltWorkload;
+        let after = s.built("crafty") as *const BuiltWorkload;
+        assert_eq!(before, after, "built() must reuse the precomputed workload");
         // A later run() must not recompute (results are identical objects).
         let r = s.run("crafty", Scheme::NoPrefetch);
         assert!(r.cycles > 0);
+    }
+
+    #[test]
+    fn scale_args_parse_and_error_path() {
+        let argv = |s: &[&str]| -> Vec<String> { s.iter().map(|a| a.to_string()).collect() };
+        // Absent flag: the documented Small default.
+        assert_eq!(parse_scale_args(&argv(&["all"])), Ok(SuiteScale::Small));
+        assert_eq!(
+            parse_scale_args(&argv(&["all", "--scale", "paper"])),
+            Ok(SuiteScale::Paper)
+        );
+        assert_eq!(
+            parse_scale_args(&argv(&["all", "--scale", "test"])),
+            Ok(SuiteScale::Test)
+        );
+        // Regression: a typo used to fall back silently to Small; it must
+        // now surface an error that names the valid scales.
+        let err = parse_scale_args(&argv(&["all", "--scale", "papr"])).unwrap_err();
+        assert!(err.contains("papr"), "error names the bad value: {err}");
+        assert!(err.contains("test, small, paper"), "error lists valid scales: {err}");
+        let err = parse_scale_args(&argv(&["all", "--scale"])).unwrap_err();
+        assert!(err.contains("requires a value"), "missing value is an error: {err}");
     }
 
     #[test]

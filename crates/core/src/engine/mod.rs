@@ -92,6 +92,15 @@ pub trait Prefetcher: std::fmt::Debug {
         now: u64,
     ) -> Option<Candidate>;
 
+    /// Earliest future cycle at which a `next_candidate` scan could
+    /// succeed, given that a scan just failed. The default — the earliest
+    /// time any channel's bus frees — is always sound; engines that know
+    /// which channels their candidates map to can return a tighter bound
+    /// so the prioritizer skips scans that cannot issue anything.
+    fn next_issue_time(&self, dram: &Dram) -> u64 {
+        dram.earliest_channel_free()
+    }
+
     /// Counter snapshot.
     fn stats(&self) -> EngineStats;
 }

@@ -11,7 +11,7 @@ use grp_cpu::{HintSet, RefId};
 use grp_mem::{
     Addr, BlockAddr, Cache, Dram, HeapRange, Memory, MshrFile, RegionAddr, REGION_BLOCKS,
 };
-use std::collections::VecDeque;
+use std::collections::HashMap;
 
 use super::{Candidate, EngineStats, Prefetcher};
 
@@ -115,6 +115,12 @@ struct RegionEntry {
     index: u8,
     /// Pointer-chase depth to attach to issued prefetches.
     pointer_level: u8,
+    /// True once a full scan has checked every set bit against L2/MSHR
+    /// residency. Stale bits can only originate when a bit is first set
+    /// (a block *entering* the cache or the MSHR file always clears its
+    /// own candidate bit at that moment), so bits that survive one sweep
+    /// can never become stale — later scans skip the residency probes.
+    swept: bool,
 }
 
 impl RegionEntry {
@@ -123,11 +129,33 @@ impl RegionEntry {
     }
 }
 
+/// Null slot id for the intrusive queue links.
+const NIL: u32 = u32::MAX;
+
+/// A queue slot: the entry plus its doubly-linked neighbours. The queue
+/// is a slab of slots threaded head↔tail so that the miss-to-queued-region
+/// paths (which hit on most demand misses in region-heavy workloads) can
+/// jump straight to an entry via the region index instead of scanning.
+#[derive(Debug, Clone, Copy)]
+struct Slot {
+    entry: RegionEntry,
+    prev: u32,
+    next: u32,
+}
+
 /// The SRP/GRP prefetch engine.
 #[derive(Debug)]
 pub struct RegionPrefetcher {
     cfg: RegionConfig,
-    queue: VecDeque<RegionEntry>,
+    slots: Vec<Slot>,
+    free: Vec<u32>,
+    head: u32,
+    tail: u32,
+    len: usize,
+    /// region base → slot id, for O(1) entry lookup on demand misses and
+    /// pointer/indirect enqueues. Only probed by key, never iterated, so
+    /// it cannot perturb determinism.
+    index: HashMap<u64, u32>,
     loop_bound: u32,
     stats: EngineStats,
 }
@@ -137,7 +165,12 @@ impl RegionPrefetcher {
     pub fn new(cfg: RegionConfig) -> Self {
         Self {
             cfg,
-            queue: VecDeque::with_capacity(cfg.queue_capacity),
+            slots: Vec::with_capacity(cfg.queue_capacity + 1),
+            free: Vec::with_capacity(cfg.queue_capacity + 1),
+            head: NIL,
+            tail: NIL,
+            len: 0,
+            index: HashMap::with_capacity(cfg.queue_capacity * 2),
             loop_bound: 0,
             stats: EngineStats::default(),
         }
@@ -150,22 +183,83 @@ impl RegionPrefetcher {
 
     /// Current queue occupancy (entries).
     pub fn queue_len(&self) -> usize {
-        self.queue.len()
+        self.len
+    }
+
+    fn alloc_slot(&mut self, entry: RegionEntry) -> u32 {
+        let slot = Slot {
+            entry,
+            prev: NIL,
+            next: NIL,
+        };
+        match self.free.pop() {
+            Some(id) => {
+                self.slots[id as usize] = slot;
+                id
+            }
+            None => {
+                self.slots.push(slot);
+                (self.slots.len() - 1) as u32
+            }
+        }
+    }
+
+    fn attach_head(&mut self, id: u32) {
+        self.slots[id as usize].next = self.head;
+        if self.head != NIL {
+            self.slots[self.head as usize].prev = id;
+        } else {
+            self.tail = id;
+        }
+        self.head = id;
+        self.len += 1;
+    }
+
+    fn attach_tail(&mut self, id: u32) {
+        self.slots[id as usize].prev = self.tail;
+        if self.tail != NIL {
+            self.slots[self.tail as usize].next = id;
+        } else {
+            self.head = id;
+        }
+        self.tail = id;
+        self.len += 1;
+    }
+
+    /// Unlinks `id`, releases its slot and index entry, and returns the
+    /// entry it held. Neighbours keep their positions — removal never
+    /// shifts other entries (unlike a `VecDeque::remove`).
+    fn remove_slot(&mut self, id: u32) -> RegionEntry {
+        let Slot { entry, prev, next } = self.slots[id as usize];
+        if prev != NIL {
+            self.slots[prev as usize].next = next;
+        } else {
+            self.head = next;
+        }
+        if next != NIL {
+            self.slots[next as usize].prev = prev;
+        } else {
+            self.tail = prev;
+        }
+        self.index.remove(&entry.region.0);
+        self.free.push(id);
+        self.len -= 1;
+        entry
     }
 
     fn push_entry(&mut self, e: RegionEntry) {
+        let key = e.region.0;
+        let id = self.alloc_slot(e);
         if self.cfg.fifo {
-            self.queue.push_back(e);
+            self.attach_tail(id);
         } else {
-            self.queue.push_front(e);
+            self.attach_head(id);
         }
-        while self.queue.len() > self.cfg.queue_capacity {
+        self.index.insert(key, id);
+        while self.len > self.cfg.queue_capacity {
             // Old entries fall off the bottom (§3.1).
-            if self.cfg.fifo {
-                self.queue.pop_front();
-            } else {
-                self.queue.pop_back();
-            }
+            let victim = if self.cfg.fifo { self.head } else { self.tail };
+            self.remove_slot(victim);
             self.stats.entries_dropped += 1;
         }
     }
@@ -194,8 +288,8 @@ impl RegionPrefetcher {
 
         // Miss to a region already in the queue: clear the miss block's
         // bit, bump the index, move the entry to the head (§3.1).
-        if let Some(pos) = self.queue.iter().position(|e| e.region == region) {
-            let mut e = self.queue.remove(pos).expect("position valid");
+        if let Some(&id) = self.index.get(&region.0) {
+            let mut e = self.remove_slot(id);
             e.clear(miss_idx);
             e.index = next_idx;
             e.pointer_level = e.pointer_level.max(plevel);
@@ -225,6 +319,7 @@ impl RegionPrefetcher {
             bits,
             index: next_idx,
             pointer_level: plevel,
+            swept: false,
         });
     }
 
@@ -236,9 +331,11 @@ impl RegionPrefetcher {
         }
         let region = block.region();
         let bit = block.index_in_region() as u8;
-        if let Some(pos) = self.queue.iter().position(|e| e.region == region) {
-            let mut e = self.queue.remove(pos).expect("position valid");
+        if let Some(&id) = self.index.get(&region.0) {
+            let mut e = self.remove_slot(id);
             e.bits |= 1u64 << bit;
+            // The new bit has not been checked against the MSHR file.
+            e.swept = false;
             e.pointer_level = e.pointer_level.max(plevel);
             self.push_entry(e);
         } else {
@@ -247,6 +344,7 @@ impl RegionPrefetcher {
                 bits: 1u64 << bit,
                 index: bit,
                 pointer_level: plevel,
+                swept: false,
             });
         }
     }
@@ -268,32 +366,35 @@ impl RegionPrefetcher {
         }
     }
 
-    /// Tries to take an issuable candidate from the entry at queue
-    /// position `qi`. Returns the candidate, or `None` when the entry is
-    /// blocked (busy channel / closed row under `require_open`).
-    /// Removes entries that drain.
-    fn take_from_entry(
+    /// Tries to take an issuable candidate from the entry in slot `id`.
+    /// Returns the candidate (or `None` when the entry is blocked — busy
+    /// channel / closed row under `require_open`) plus a flag telling the
+    /// caller whether the slot was removed because the entry drained.
+    fn take_from_slot(
         &mut self,
-        qi: usize,
+        id: u32,
         l2: &Cache,
         mshrs: &MshrFile,
         dram: &Dram,
         now: u64,
         require_open: bool,
-    ) -> Option<Candidate> {
-        let e = self.queue.get_mut(qi)?;
+    ) -> (Option<Candidate>, bool) {
+        let e = &mut self.slots[id as usize].entry;
         // Scan candidates in index order (forward from the miss block,
         // wrapping); a busy channel does not block later candidates —
-        // the controller issues to whichever channels are idle.
+        // the controller issues to whichever channels are idle. Rotating
+        // the bit vector lets `trailing_zeros` jump between set bits in
+        // exactly that order, skipping the empty gaps.
         let start = e.index as u32;
+        let mut rem = e.bits.rotate_right(start);
+        let swept = e.swept;
         let mut taken: Option<(u8, BlockAddr, u8)> = None;
-        for off in 0..REGION_BLOCKS as u32 {
+        while rem != 0 {
+            let off = rem.trailing_zeros();
+            rem &= rem - 1;
             let bit = ((start + off) % REGION_BLOCKS as u32) as u8;
-            if e.bits & (1u64 << bit) == 0 {
-                continue;
-            }
             let block = e.region.block(bit as usize);
-            if l2.contains(block) || mshrs.contains(block) {
+            if !swept && (l2.contains(block) || mshrs.contains(block)) {
                 // Stale candidate: already resident or in flight.
                 e.clear(bit);
                 continue;
@@ -308,21 +409,29 @@ impl RegionPrefetcher {
             Some((bit, block, level)) => {
                 e.clear(bit);
                 e.index = (bit + 1) % REGION_BLOCKS as u8;
-                if e.bits == 0 {
-                    self.queue.remove(qi);
+                let drained = e.bits == 0;
+                if drained {
+                    self.remove_slot(id);
                 }
                 self.stats.candidates_issued += 1;
-                Some(Candidate {
-                    block,
-                    pointer_level: level,
-                })
+                (
+                    Some(Candidate {
+                        block,
+                        pointer_level: level,
+                    }),
+                    drained,
+                )
             }
             None => {
-                if e.bits == 0 {
+                // Every set bit was examined; survivors are permanently
+                // non-stale (see `RegionEntry::swept`).
+                e.swept = true;
+                let drained = e.bits == 0;
+                if drained {
                     // Drained entirely by stale-clearing.
-                    self.queue.remove(qi);
+                    self.remove_slot(id);
                 }
-                None
+                (None, drained)
             }
         }
     }
@@ -342,10 +451,12 @@ impl Prefetcher for RegionPrefetcher {
         let spatial_ok = !self.cfg.spatial_gate || hints.spatial();
         if self.cfg.regions_enabled && spatial_ok {
             self.allocate_region(block, hints, plevel, l2);
-        } else if let Some(pos) = self.queue.iter().position(|e| e.region == block.region()) {
+        } else if let Some(&id) = self.index.get(&block.region().0) {
             // Even a non-triggering miss invalidates its own block's
             // candidate bit (the demand fetch is already underway).
-            self.queue[pos].clear(block.index_in_region() as u8);
+            self.slots[id as usize]
+                .entry
+                .clear(block.index_in_region() as u8);
         }
         plevel
     }
@@ -396,7 +507,7 @@ impl Prefetcher for RegionPrefetcher {
     }
 
     fn has_candidates(&self) -> bool {
-        !self.queue.is_empty()
+        self.len > 0
     }
 
     fn next_candidate(
@@ -407,31 +518,69 @@ impl Prefetcher for RegionPrefetcher {
         now: u64,
     ) -> Option<Candidate> {
         // Pass 1: among the first `probe_depth` entries, prefer a
-        // candidate whose DRAM row is already open (§3.1).
-        let probe = self.cfg.probe_depth.min(self.queue.len());
-        for qi in 0..probe {
-            if qi >= self.queue.len() {
-                break;
-            }
-            if let Some(c) = self.take_from_entry(qi, l2, mshrs, dram, now, true) {
+        // candidate whose DRAM row is already open (§3.1). Entries that
+        // drain during the probe don't count against the depth — their
+        // successor inherits the probe slot.
+        let mut probes = 0;
+        let mut cur = self.head;
+        while cur != NIL && probes < self.cfg.probe_depth {
+            let next = self.slots[cur as usize].next;
+            let (c, removed) = self.take_from_slot(cur, l2, mshrs, dram, now, true);
+            if let Some(c) = c {
                 return Some(c);
             }
+            if !removed {
+                probes += 1;
+            }
+            cur = next;
         }
         // Pass 2: first candidate on any idle channel, scanning from the
         // head (LIFO priority).
-        let mut qi = 0;
-        while qi < self.queue.len() {
-            let before = self.queue.len();
-            if let Some(c) = self.take_from_entry(qi, l2, mshrs, dram, now, false) {
+        let mut cur = self.head;
+        while cur != NIL {
+            let next = self.slots[cur as usize].next;
+            let (c, _removed) = self.take_from_slot(cur, l2, mshrs, dram, now, false);
+            if let Some(c) = c {
                 return Some(c);
             }
-            // take_from_entry may have removed a drained entry at qi; in
-            // that case re-examine the same index.
-            if self.queue.len() == before {
-                qi += 1;
-            }
+            cur = next;
         }
         None
+    }
+
+    fn next_issue_time(&self, dram: &Dram) -> u64 {
+        // After a failed scan every live candidate bit sits on a busy
+        // channel (stale bits were cleared as the scan passed them), so
+        // the earliest useful re-scan is when one of *those* channels
+        // frees. Walk candidates until every channel has been seen — the
+        // min can only improve by covering a new channel.
+        let channels = dram.config().channels;
+        let all = (1u64 << channels) - 1;
+        let mut seen = 0u64;
+        let mut t = u64::MAX;
+        let mut cur = self.head;
+        while cur != NIL && seen != all {
+            let e = &self.slots[cur as usize].entry;
+            let mut rem = e.bits;
+            while rem != 0 && seen != all {
+                let bit = rem.trailing_zeros();
+                rem &= rem - 1;
+                let block = e.region.block(bit as usize);
+                let ch = dram.channel_of(block);
+                if seen & (1u64 << ch) == 0 {
+                    seen |= 1u64 << ch;
+                    t = t.min(dram.channel_free_at(block));
+                }
+            }
+            cur = self.slots[cur as usize].next;
+        }
+        if t == u64::MAX {
+            // Only zero-bit entries remain (left by the demand-clear
+            // path); fall back to the generic bound.
+            dram.earliest_channel_free()
+        } else {
+            t
+        }
     }
 
     fn stats(&self) -> EngineStats {
@@ -681,6 +830,39 @@ mod tests {
         assert!(p.has_candidates(), "candidates retained for later");
         let later = 1_000_000;
         assert!(p.next_candidate(&l2, &mshrs, &dram, later).is_some());
+    }
+
+    #[test]
+    fn drained_stale_entry_does_not_skip_successor_in_probe_pass() {
+        // Regression: pass 1 used to advance `qi` even when
+        // `take_from_entry` removed a fully-stale entry at `qi`, so the
+        // entry that shifted into the slot lost its open-row probe.
+        let (mut p, mut l2, mshrs, mut dram, _m) = fresh(RegionConfig::srp(32));
+        let ra = RegionAddr(0xA);
+        let rb = RegionAddr(0xB);
+        let rc = RegionAddr(0xC);
+        // LIFO: queue reads [A, B, C] from the head.
+        for r in [rc, rb, ra] {
+            let b = r.block(0);
+            p.on_demand_miss(b, b.base(), RefId(0), HintSet::none(), false, &l2);
+        }
+        // Make A's whole region resident: entry A is fully stale and
+        // drains (entry removed) when pass 1 examines it.
+        for i in 0..REGION_BLOCKS {
+            l2.fill(ra.block(i), grp_mem::InsertPriority::Mru, false, false);
+        }
+        // Open the rows of both B's and C's next candidates.
+        let q1 = dram.issue(rb.block(1), grp_mem::RequestKind::Demand, 0);
+        let q2 = dram.issue(rc.block(1), grp_mem::RequestKind::Demand, 0);
+        let now = q1.complete_at.max(q2.complete_at) + 1;
+        // A drains at position 0; B shifts into the slot and must be the
+        // open-row probe's winner (the bug skipped straight to C).
+        let c = p.next_candidate(&l2, &mshrs, &dram, now).unwrap();
+        assert_eq!(
+            c.block.region(),
+            rb,
+            "successor of the drained entry keeps its open-row probe"
+        );
     }
 
     #[test]

@@ -138,12 +138,15 @@ impl StridePrefetcher {
     /// Allocates or redirects a stream buffer at `addr + stride`.
     fn direct_stream(&mut self, addr: u64, stride: i64) {
         self.clock += 1;
+        let depth = self.cfg.buffer_depth as u64;
         // An existing stream covering this address path gets refreshed.
         if let Some(s) = self.streams.iter_mut().find(|s| {
             s.valid && s.stride == stride && {
                 // The miss falls on the stream's recent path.
                 let diff = addr.wrapping_sub(s.next) as i64;
-                stride != 0 && diff % stride == 0 && (diff / stride).unsigned_abs() <= 8
+                stride != 0
+                    && diff % stride == 0
+                    && (diff / stride).unsigned_abs() <= depth
             }
         }) {
             s.next = addr.wrapping_add(stride as u64);
@@ -231,6 +234,23 @@ impl Prefetcher for StridePrefetcher {
             }
         }
         None
+    }
+
+    fn next_issue_time(&self, dram: &Dram) -> u64 {
+        // After a failed scan every live stream head sits on a busy
+        // channel (resident heads were consumed by the scan), so the next
+        // time anything can issue is when one of *those* channels frees.
+        let mut t = u64::MAX;
+        for s in self.streams.iter() {
+            if s.valid && s.credits > 0 {
+                t = t.min(dram.channel_free_at(Addr(s.next).block()));
+            }
+        }
+        if t == u64::MAX {
+            dram.earliest_channel_free()
+        } else {
+            t
+        }
     }
 
     fn stats(&self) -> EngineStats {
@@ -345,6 +365,36 @@ mod tests {
         }
         assert!(blocks.iter().any(|b| (0x10_0000..0x20_0000).contains(b)));
         assert!(blocks.iter().any(|b| (0x50_0000..0x60_0000).contains(b)));
+    }
+
+    #[test]
+    fn stream_match_window_honors_configured_depth() {
+        // Regression: `direct_stream` used to hard-code a match window of
+        // 8 strides when deciding whether a miss falls on an existing
+        // stream's path, ignoring `buffer_depth`. With a deeper buffer a
+        // miss 13 strides ahead is still on-path and must refresh the
+        // stream, not allocate a second one.
+        let mut p = StridePrefetcher::new(StrideConfig {
+            buffer_depth: 16,
+            ..StrideConfig::default()
+        });
+        let (l2, _mshrs, _dram) = parts();
+        // PC 1 trains a stride-64 stream; its pointer sits at 0x10_0100.
+        for k in 0..4u64 {
+            miss(&mut p, &l2, 1, 0x10_0000 + k * 64);
+        }
+        assert_eq!(p.stats().entries_allocated, 1);
+        // PC 2 walks the same stride further along: its confident miss
+        // lands 13 strides past the stream pointer — inside the depth-16
+        // window, outside the old hard-coded 8.
+        for k in 10..14u64 {
+            miss(&mut p, &l2, 2, 0x10_0100 + k * 64);
+        }
+        assert_eq!(
+            p.stats().entries_allocated,
+            1,
+            "on-path miss within buffer_depth strides must refresh, not reallocate"
+        );
     }
 
     #[test]

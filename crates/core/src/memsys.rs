@@ -13,7 +13,7 @@
 //! action ([`MemSystem::advance_to`]).
 
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap};
+use std::collections::BinaryHeap;
 
 use grp_cpu::{HintSet, RefId};
 use grp_mem::{
@@ -105,8 +105,6 @@ pub struct MemSystem<'m> {
     dram: Dram,
     engine: Box<dyn Prefetcher>,
     fills: BinaryHeap<Reverse<PendingFill>>,
-    inflight_l1: HashMap<BlockAddr, u64>,
-    inflight_l2: HashMap<BlockAddr, u64>,
     mem: &'m Memory,
     heap: HeapRange,
     cursor: u64,
@@ -142,9 +140,8 @@ impl<'m> MemSystem<'m> {
             l2_mshrs: MshrFile::new(cfg.l2_mshrs),
             dram: Dram::new(cfg.dram),
             engine,
-            fills: BinaryHeap::new(),
-            inflight_l1: HashMap::new(),
-            inflight_l2: HashMap::new(),
+            // Outstanding fills are bounded by the two MSHR files.
+            fills: BinaryHeap::with_capacity(cfg.l1_mshrs + cfg.l2_mshrs),
             mem,
             heap,
             cursor: 0,
@@ -192,13 +189,11 @@ impl<'m> MemSystem<'m> {
 
     fn schedule_fill(&mut self, time: u64, block: BlockAddr, level: FillLevel) {
         self.fills.push(Reverse(PendingFill { time, block, level }));
+        // The in-flight block set lives in the MSHR files (they already
+        // track exactly these blocks); only the fill time is recorded.
         match level {
-            FillLevel::L1 { .. } => {
-                self.inflight_l1.insert(block, time);
-            }
-            FillLevel::L2 => {
-                self.inflight_l2.insert(block, time);
-            }
+            FillLevel::L1 { .. } => self.l1_mshrs.set_fill_time(block, time),
+            FillLevel::L2 => self.l2_mshrs.set_fill_time(block, time),
         }
     }
 
@@ -229,7 +224,6 @@ impl<'m> MemSystem<'m> {
         match f.level {
             FillLevel::L1 { dirty } => {
                 self.l1_mshrs.complete(f.block);
-                self.inflight_l1.remove(&f.block);
                 self.insert_l1(f.block, dirty, f.time);
             }
             FillLevel::L2 => {
@@ -237,12 +231,10 @@ impl<'m> MemSystem<'m> {
                     .l2_mshrs
                     .complete(f.block)
                     .expect("L2 fill without MSHR entry");
-                self.inflight_l2.remove(&f.block);
                 self.insert_l2(f.block, entry.prefetch_fill, f.time);
                 if entry.demand {
                     // Piggyback the L1 fill for the demand path.
                     self.l1_mshrs.complete(f.block);
-                    self.inflight_l1.remove(&f.block);
                     self.insert_l1(f.block, entry.dirty_on_fill, f.time);
                 }
                 if entry.pointer_level > 0 {
@@ -303,20 +295,25 @@ impl<'m> MemSystem<'m> {
     pub fn advance_to(&mut self, t: u64) {
         let mut now = self.cursor;
         loop {
-            // Apply any fill due at or before `now`.
-            if let Some(Reverse(f)) = self.fills.peek().copied() {
-                if f.time <= now {
-                    self.fills.pop();
-                    self.process_fill(f);
-                    continue;
+            // Apply every fill due at or before `now` in one pass (the
+            // heap is time-ordered, so this drains without re-entering
+            // the issue logic between fills).
+            while let Some(Reverse(f)) = self.fills.peek().copied() {
+                if f.time > now {
+                    break;
                 }
+                self.fills.pop();
+                self.process_fill(f);
             }
             // Issue as many prefetches as possible at `now`.
             while self.try_issue_prefetch(now) {}
-            // Find the next interesting time ≤ t.
+            // Find the next interesting time ≤ t. For the issue side, ask
+            // the engine when one of *its candidates'* channels frees up
+            // rather than stepping cycle-by-cycle through idle times on
+            // channels no candidate maps to.
             let next_fill = self.fills.peek().map(|Reverse(f)| f.time);
             let next_issue = if self.engine.has_candidates() && self.prefetch_mshr_headroom() {
-                Some(self.dram.earliest_channel_free().max(now + 1))
+                Some(self.engine.next_issue_time(&self.dram).max(now + 1))
             } else {
                 None
             };
@@ -337,11 +334,11 @@ impl<'m> MemSystem<'m> {
     /// Earliest pending completion among blocks tracked at the given
     /// level — used to wait out a full MSHR file.
     fn earliest_l1_completion(&self) -> Option<u64> {
-        self.inflight_l1.values().min().copied()
+        self.l1_mshrs.earliest_fill_time()
     }
 
     fn earliest_l2_completion(&self) -> Option<u64> {
-        self.inflight_l2.values().min().copied()
+        self.l2_mshrs.earliest_fill_time()
     }
 
     /// Performs a load issued at cycle `t`; returns its completion cycle.
@@ -368,7 +365,7 @@ impl<'m> MemSystem<'m> {
             return now + self.cfg.l1_latency;
         }
         // Merge into an outstanding L1-level fetch.
-        if let Some(&ft) = self.inflight_l1.get(&block) {
+        if let Some(ft) = self.l1_mshrs.fill_time(block) {
             self.l1_mshrs
                 .allocate_or_merge(block, true, None, 0, write);
             return ft.max(now + self.cfg.l1_latency);
@@ -406,13 +403,13 @@ impl<'m> MemSystem<'m> {
             .on_demand_miss(block, addr, ref_id, hints, write, &self.l2);
 
         // Merge with an in-flight fetch (possibly a late prefetch).
-        if let Some(&ft) = self.inflight_l2.get(&block) {
+        if let Some(ft) = self.l2_mshrs.fill_time(block) {
             self.l2_mshrs
                 .allocate_or_merge(block, true, None, plevel, write);
             self.l1_mshrs.allocate_or_merge(block, true, None, 0, write);
             // The L1 fill piggybacks on the L2 fill (process_fill), so the
             // L1-side wait also resolves at `ft`.
-            self.inflight_l1.insert(block, ft);
+            self.l1_mshrs.set_fill_time(block, ft);
             return ft.max(l2_time + self.cfg.l2_latency);
         }
         // Wait out a full L2 MSHR file.
@@ -427,7 +424,8 @@ impl<'m> MemSystem<'m> {
         }
         let req = self.dram.issue(block, RequestKind::Demand, issue);
         self.l1_mshrs.allocate_or_merge(block, true, None, 0, write);
-        self.inflight_l1.insert(block, req.complete_at);
+        // The L1 fill piggybacks on the L2 demand fill at completion.
+        self.l1_mshrs.set_fill_time(block, req.complete_at);
         self.l2_mshrs
             .allocate_or_merge(block, true, None, plevel, write);
         self.schedule_fill(req.complete_at, block, FillLevel::L2);

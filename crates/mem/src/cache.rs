@@ -141,10 +141,13 @@ const INVALID: Line = Line {
 #[derive(Debug, Clone)]
 pub struct Cache {
     cfg: CacheConfig,
-    sets: usize,
     // Per set: `ways` lines ordered MRU (index 0) → LRU (index ways-1).
     lines: Vec<Line>,
     ways: usize,
+    // Precomputed set mask / tag shift: `contains` runs once per candidate
+    // bit in the region engine's scan, so the lookup math stays flat.
+    set_mask: usize,
+    tag_shift: u32,
     stats: CacheStats,
 }
 
@@ -161,9 +164,10 @@ impl Cache {
         assert!(cfg.ways > 0);
         Self {
             cfg,
-            sets,
             lines: vec![INVALID; sets * cfg.ways],
             ways: cfg.ways,
+            set_mask: sets - 1,
+            tag_shift: sets.trailing_zeros(),
             stats: CacheStats::default(),
         }
     }
@@ -180,12 +184,12 @@ impl Cache {
 
     #[inline]
     fn set_of(&self, b: BlockAddr) -> usize {
-        (b.0 as usize) & (self.sets - 1)
+        (b.0 as usize) & self.set_mask
     }
 
     #[inline]
     fn tag_of(&self, b: BlockAddr) -> u64 {
-        b.0 >> self.sets.trailing_zeros()
+        b.0 >> self.tag_shift
     }
 
     #[inline]
@@ -194,7 +198,7 @@ impl Cache {
     }
 
     fn block_from(&self, set: usize, tag: u64) -> BlockAddr {
-        BlockAddr((tag << self.sets.trailing_zeros()) | set as u64)
+        BlockAddr((tag << self.tag_shift) | set as u64)
     }
 
     /// Non-modifying presence test: does not update recency or counters.

@@ -31,6 +31,11 @@ pub struct MshrEntry {
     pub waiters: Vec<u32>,
     /// True when the block will be dirtied on fill (write-allocate store miss).
     pub dirty_on_fill: bool,
+    /// Cycle at which the fill for this miss lands, once scheduled. The
+    /// memory system keeps this here instead of in a side table: the MSHR
+    /// file already tracks exactly the in-flight blocks, so an 8-entry
+    /// scan replaces a per-access hash probe.
+    pub fill_at: Option<u64>,
 }
 
 /// A bounded file of [`MshrEntry`]s with merge semantics.
@@ -142,9 +147,29 @@ impl MshrFile {
             pointer_level,
             waiters: waiter.into_iter().collect(),
             dirty_on_fill,
+            fill_at: None,
         });
         self.peak_occupancy = self.peak_occupancy.max(self.entries.len());
         MshrOutcome::Allocated
+    }
+
+    /// Records (or overwrites) the scheduled fill-completion cycle for
+    /// `block`. No-op when the block is not outstanding.
+    pub fn set_fill_time(&mut self, block: BlockAddr, at: u64) {
+        if let Some(e) = self.entries.iter_mut().find(|e| e.block == block) {
+            e.fill_at = Some(at);
+        }
+    }
+
+    /// The scheduled fill-completion cycle for `block`, if one is known.
+    pub fn fill_time(&self, block: BlockAddr) -> Option<u64> {
+        self.get(block).and_then(|e| e.fill_at)
+    }
+
+    /// Earliest scheduled fill among all outstanding entries — what a
+    /// full file waits for.
+    pub fn earliest_fill_time(&self) -> Option<u64> {
+        self.entries.iter().filter_map(|e| e.fill_at).min()
     }
 
     /// True when any outstanding entry is a demand miss — the access
@@ -262,6 +287,23 @@ mod tests {
         assert!(m.has_demand());
         m.complete(BlockAddr(2));
         assert!(!m.has_demand());
+    }
+
+    #[test]
+    fn fill_time_tracking() {
+        let mut m = MshrFile::new(2);
+        m.allocate_or_merge(BlockAddr(1), true, None, 0, false);
+        assert_eq!(m.fill_time(BlockAddr(1)), None, "unset until scheduled");
+        m.set_fill_time(BlockAddr(1), 500);
+        assert_eq!(m.fill_time(BlockAddr(1)), Some(500));
+        m.allocate_or_merge(BlockAddr(2), false, None, 0, false);
+        m.set_fill_time(BlockAddr(2), 300);
+        assert_eq!(m.earliest_fill_time(), Some(300));
+        m.set_fill_time(BlockAddr(9), 100); // unknown block: no-op
+        assert_eq!(m.fill_time(BlockAddr(9)), None);
+        assert_eq!(m.earliest_fill_time(), Some(300));
+        m.complete(BlockAddr(2));
+        assert_eq!(m.earliest_fill_time(), Some(500));
     }
 
     #[test]

@@ -25,6 +25,28 @@ cargo build --benches --offline
 echo "== tier-1: test suite (offline) =="
 cargo test -q --offline
 
+echo "== bench smoke: full suite at test scale (offline) =="
+cargo run --release -q --offline -p grp-bench --bin all -- --scale test > /dev/null
+
+echo "== perf smoke: harness at test scale (offline) =="
+# Write the smoke trajectory to a scratch file so CI runs never touch
+# the committed BENCH_perf.json history.
+PERF_TMP="$(mktemp)"
+trap 'rm -f "$PERF_TMP"' EXIT
+# The harness expects either a valid trajectory or no file at all, so
+# drop mktemp's empty placeholder and let the run create it.
+rm -f "$PERF_TMP"
+cargo run --release -q --offline -p grp-bench --bin perf -- \
+    --scale test --label verify-smoke --out "$PERF_TMP"
+cargo run --release -q --offline -p grp-bench --bin perf -- --check "$PERF_TMP"
+
+echo "== perf trajectory: committed BENCH_perf.json parses =="
+if [ ! -f BENCH_perf.json ]; then
+    echo "ERROR: BENCH_perf.json missing from repo root" >&2
+    exit 1
+fi
+cargo run --release -q --offline -p grp-bench --bin perf -- --check BENCH_perf.json
+
 echo "== hermeticity: no external registry dependencies =="
 if grep -rn 'rand\|proptest\|criterion' crates/*/Cargo.toml Cargo.toml; then
     echo "ERROR: external registry dependency found in a manifest" >&2
