@@ -1,9 +1,16 @@
 //! Reproduces the complete evaluation: every table and figure, sharing
 //! one memoized suite. `--scale test|small|paper` selects problem size;
 //! `--json <path>` additionally writes machine-readable per-run results.
+//!
+//! Observability: `--trace-out <prefix>` re-runs the perf benchmarks
+//! under GRP/Var with the lifecycle tracer and writes per-benchmark
+//! `<prefix>-<bench>.jsonl` + `<prefix>-<bench>.trace.json`;
+//! `--metrics-out <prefix>` writes `<prefix>-<bench>.metrics.json`;
+//! `--epoch N` sets the sampling interval (default 4096 events).
 use grp_bench::json::{run_result_json, Json};
+use grp_bench::obs_export::{chrome_trace, flag_u64, flag_value, metrics_json};
 use grp_bench::{experiments, suite::scale_from_args, Suite};
-use grp_core::Scheme;
+use grp_core::{EpochSampler, LifecycleTracer, ObserverPair, Scheme};
 use grp_workloads::BenchClass;
 
 fn main() {
@@ -66,5 +73,42 @@ fn main() {
             .set("benchmarks", Json::Array(benches));
         std::fs::write(path, doc.render()).expect("write --json output");
         eprintln!("wrote {path}");
+    }
+
+    // Optional observability pass: traced GRP/Var runs over the perf set.
+    let trace_out = flag_value(&args, "--trace-out");
+    let metrics_out = flag_value(&args, "--metrics-out");
+    if trace_out.is_some() || metrics_out.is_some() {
+        let epoch = flag_u64(&args, "--epoch").unwrap_or(4096).max(1);
+        let cfg = *suite.config();
+        for name in suite.perf_names() {
+            eprintln!("  [observe] {name} / GRP/Var…");
+            let obs = ObserverPair(LifecycleTracer::new(), EpochSampler::new(epoch));
+            let built = suite.built(name);
+            let (_, ObserverPair(t, sampler)) = built.run_observed(Scheme::GrpVar, &cfg, obs);
+            let epochs = sampler.snapshots();
+            let write = |path: String, body: String| {
+                if let Some(dir) = std::path::Path::new(&path).parent() {
+                    if !dir.as_os_str().is_empty() {
+                        std::fs::create_dir_all(dir).expect("create output directory");
+                    }
+                }
+                std::fs::write(&path, body).expect("write observability output");
+                eprintln!("wrote {path}");
+            };
+            if let Some(prefix) = &trace_out {
+                write(format!("{prefix}-{name}.jsonl"), t.jsonl());
+                write(
+                    format!("{prefix}-{name}.trace.json"),
+                    chrome_trace(&t, epochs).render(),
+                );
+            }
+            if let Some(prefix) = &metrics_out {
+                write(
+                    format!("{prefix}-{name}.metrics.json"),
+                    metrics_json(&t, epochs, Some(epoch)).render(),
+                );
+            }
+        }
     }
 }

@@ -1,8 +1,17 @@
 //! Per-benchmark inspection tool: prints detailed counters for every
-//! scheme on one workload. Usage:
-//! `cargo run -p grp-bench --bin dbg -- <bench> [--scale test|small|paper]`.
-use grp_bench::{suite::scale_from_args, Suite};
-use grp_core::Scheme;
+//! scheme on one workload, now including the full prefetch lifecycle
+//! (outcome breakdown + timeliness histograms) from the observer layer.
+//!
+//! Usage:
+//! `cargo run -p grp-bench --bin dbg -- <bench> [--scale test|small|paper]
+//!  [--epoch N] [--trace-out <prefix>]`
+//!
+//! `--trace-out` writes one lifecycle JSONL per scheme
+//! (`<prefix>-<scheme>.jsonl`); `--epoch` sets the metrics-sampling
+//! interval (committed events, default 4096).
+use grp_bench::obs_export::{flag_u64, flag_value, slug};
+use grp_bench::suite::scale_from_args;
+use grp_core::{EpochSampler, LifecycleTracer, ObserverPair, Scheme, SimConfig};
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
@@ -11,8 +20,19 @@ fn main() {
         .filter(|a| !a.starts_with("--"))
         .cloned()
         .unwrap_or_else(|| "gzip".into());
-    let name: &'static str = Box::leak(name.into_boxed_str());
-    let mut suite = Suite::new(scale_from_args());
+    let scale = scale_from_args();
+    let epoch = flag_u64(&args, "--epoch").unwrap_or(4096);
+    if epoch == 0 {
+        eprintln!("error: --epoch must be positive");
+        std::process::exit(2);
+    }
+    let trace_out = flag_value(&args, "--trace-out");
+    let wl = grp_workloads::by_name(&name).unwrap_or_else(|| {
+        eprintln!("error: unknown benchmark '{name}'");
+        std::process::exit(2);
+    });
+    let built = wl.build(scale.workload_scale());
+    let cfg = SimConfig::paper();
     for s in [
         Scheme::NoPrefetch,
         Scheme::Stride,
@@ -23,7 +43,8 @@ fn main() {
         Scheme::GrpPointer,
         Scheme::PerfectL2,
     ] {
-        let r = suite.run(name, s);
+        let obs = ObserverPair(LifecycleTracer::new(), EpochSampler::new(epoch));
+        let (r, ObserverPair(t, sampler)) = built.run_observed(s, &cfg, obs);
         println!(
             "{:>10}: cyc={:>9} ipc={:.2} l2acc={:>7} l2miss={:>7} dem={:>6} pf={:>6} wb={:>6} useful={:>6} late={:>5} acc={:.2}",
             s.label(),
@@ -48,5 +69,30 @@ fn main() {
             r.engine.region_size_hist,
             r.l2.useless_prefetches
         );
+        if t.issued() > 0 {
+            println!(
+                "            lifecycle: first_use={} late={} evicted={} resident={} in_flight={} squashed={} queued_end={} ({} epochs)",
+                t.first_used(),
+                t.late(),
+                t.evicted_unused(),
+                t.resident_at_end(),
+                t.in_flight_at_end(),
+                t.squashed(),
+                t.queued_at_end(),
+                sampler.snapshots().len()
+            );
+            println!("            fill->use: {}", t.fill_to_use());
+            println!("            queue-res: {}", t.queue_residency());
+        }
+        if let Some(prefix) = &trace_out {
+            let path = format!("{prefix}-{}.jsonl", slug(s.label()));
+            if let Some(dir) = std::path::Path::new(&path).parent() {
+                if !dir.as_os_str().is_empty() {
+                    std::fs::create_dir_all(dir).expect("create --trace-out directory");
+                }
+            }
+            std::fs::write(&path, t.jsonl()).expect("write --trace-out jsonl");
+            eprintln!("            wrote {path}");
+        }
     }
 }

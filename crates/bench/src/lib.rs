@@ -13,6 +13,7 @@
 
 pub mod experiments;
 pub mod json;
+pub mod obs_export;
 pub mod report;
 pub mod suite;
 

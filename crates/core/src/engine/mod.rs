@@ -103,6 +103,22 @@ pub trait Prefetcher: std::fmt::Debug {
 
     /// Counter snapshot.
     fn stats(&self) -> EngineStats;
+
+    /// Enables (or disables) internal buffering of lifecycle events
+    /// (candidate queued / squashed) for the observer layer. Engines
+    /// that don't queue candidates may ignore this.
+    fn set_trace_buffer(&mut self, _enabled: bool) {}
+
+    /// Moves any buffered lifecycle events into `sink`, oldest first.
+    /// Called by the memory system after each engine interaction so the
+    /// events can be stamped with the current cycle.
+    fn drain_trace_events(&mut self, _sink: &mut Vec<crate::obs::EngineEvent>) {}
+
+    /// Live candidates currently queued in the engine (for epoch
+    /// occupancy sampling).
+    fn queue_occupancy(&self) -> usize {
+        0
+    }
 }
 
 /// The no-prefetching baseline.

@@ -14,6 +14,7 @@ use grp_mem::{
 use std::collections::HashMap;
 
 use super::{Candidate, EngineStats, Prefetcher};
+use crate::obs::{EngineEvent, SquashReason};
 
 /// When the engine scans returned lines for pointers.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -158,6 +159,9 @@ pub struct RegionPrefetcher {
     index: HashMap<u64, u32>,
     loop_bound: u32,
     stats: EngineStats,
+    /// Buffer queued/squashed lifecycle events for the observer layer.
+    trace: bool,
+    events: Vec<EngineEvent>,
 }
 
 impl RegionPrefetcher {
@@ -173,6 +177,8 @@ impl RegionPrefetcher {
             index: HashMap::with_capacity(cfg.queue_capacity * 2),
             loop_bound: 0,
             stats: EngineStats::default(),
+            trace: false,
+            events: Vec::new(),
         }
     }
 
@@ -259,7 +265,18 @@ impl RegionPrefetcher {
         while self.len > self.cfg.queue_capacity {
             // Old entries fall off the bottom (§3.1).
             let victim = if self.cfg.fifo { self.head } else { self.tail };
-            self.remove_slot(victim);
+            let dropped = self.remove_slot(victim);
+            if self.trace {
+                let mut rem = dropped.bits;
+                while rem != 0 {
+                    let bit = rem.trailing_zeros();
+                    rem &= rem - 1;
+                    self.events.push(EngineEvent::squashed(
+                        dropped.region.block(bit as usize),
+                        SquashReason::Dropped,
+                    ));
+                }
+            }
             self.stats.entries_dropped += 1;
         }
     }
@@ -290,6 +307,9 @@ impl RegionPrefetcher {
         // bit, bump the index, move the entry to the head (§3.1).
         if let Some(&id) = self.index.get(&region.0) {
             let mut e = self.remove_slot(id);
+            if self.trace && e.bits & (1u64 << miss_idx) != 0 {
+                self.events.push(EngineEvent::squashed(miss, SquashReason::DemandHit));
+            }
             e.clear(miss_idx);
             e.index = next_idx;
             e.pointer_level = e.pointer_level.max(plevel);
@@ -306,6 +326,9 @@ impl RegionPrefetcher {
             let b = region.block(i as usize);
             if i as u8 != miss_idx && !l2.contains(b) {
                 bits |= 1u64 << i;
+                if self.trace {
+                    self.events.push(EngineEvent::queued(b));
+                }
             }
         }
         self.stats.entries_allocated += 1;
@@ -333,12 +356,18 @@ impl RegionPrefetcher {
         let bit = block.index_in_region() as u8;
         if let Some(&id) = self.index.get(&region.0) {
             let mut e = self.remove_slot(id);
+            if self.trace && e.bits & (1u64 << bit) == 0 {
+                self.events.push(EngineEvent::queued(block));
+            }
             e.bits |= 1u64 << bit;
             // The new bit has not been checked against the MSHR file.
             e.swept = false;
             e.pointer_level = e.pointer_level.max(plevel);
             self.push_entry(e);
         } else {
+            if self.trace {
+                self.events.push(EngineEvent::queued(block));
+            }
             self.push_entry(RegionEntry {
                 region,
                 bits: 1u64 << bit,
@@ -397,6 +426,9 @@ impl RegionPrefetcher {
             if !swept && (l2.contains(block) || mshrs.contains(block)) {
                 // Stale candidate: already resident or in flight.
                 e.clear(bit);
+                if self.trace {
+                    self.events.push(EngineEvent::squashed(block, SquashReason::Stale));
+                }
                 continue;
             }
             if !dram.channel_idle(block, now) || (require_open && !dram.row_is_open(block)) {
@@ -454,9 +486,11 @@ impl Prefetcher for RegionPrefetcher {
         } else if let Some(&id) = self.index.get(&block.region().0) {
             // Even a non-triggering miss invalidates its own block's
             // candidate bit (the demand fetch is already underway).
-            self.slots[id as usize]
-                .entry
-                .clear(block.index_in_region() as u8);
+            let bit = block.index_in_region() as u8;
+            if self.trace && self.slots[id as usize].entry.bits & (1u64 << bit) != 0 {
+                self.events.push(EngineEvent::squashed(block, SquashReason::DemandHit));
+            }
+            self.slots[id as usize].entry.clear(bit);
         }
         plevel
     }
@@ -585,6 +619,18 @@ impl Prefetcher for RegionPrefetcher {
 
     fn stats(&self) -> EngineStats {
         self.stats
+    }
+
+    fn set_trace_buffer(&mut self, enabled: bool) {
+        self.trace = enabled;
+    }
+
+    fn drain_trace_events(&mut self, sink: &mut Vec<EngineEvent>) {
+        sink.append(&mut self.events);
+    }
+
+    fn queue_occupancy(&self) -> usize {
+        self.len
     }
 }
 

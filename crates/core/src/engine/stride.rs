@@ -17,6 +17,7 @@ use grp_cpu::{HintSet, RefId};
 use grp_mem::{Addr, BlockAddr, Cache, Dram, HeapRange, Memory, MshrFile};
 
 use super::{Candidate, EngineStats, Prefetcher};
+use crate::obs::{EngineEvent, EngineEventKind, SquashReason};
 
 /// Geometry of the stride predictor + stream buffers.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -72,6 +73,9 @@ pub struct StridePrefetcher {
     streams: Vec<Stream>,
     clock: u64,
     stats: EngineStats,
+    /// Buffer queued/squashed lifecycle events for the observer layer.
+    trace: bool,
+    events: Vec<EngineEvent>,
 }
 
 impl StridePrefetcher {
@@ -88,6 +92,25 @@ impl StridePrefetcher {
             clock: 0,
             cfg,
             stats: EngineStats::default(),
+            trace: false,
+            events: Vec::new(),
+        }
+    }
+
+    /// Emits one lifecycle event per distinct block a stream window
+    /// covers: `credits` steps of `stride` bytes starting at `next`.
+    /// Sub-block strides revisit the same block on consecutive steps, so
+    /// consecutive duplicates are collapsed.
+    fn emit_window(&mut self, next: u64, stride: i64, credits: u8, kind: EngineEventKind) {
+        let mut a = next;
+        let mut last: Option<BlockAddr> = None;
+        for _ in 0..credits {
+            let b = Addr(a).block();
+            if last != Some(b) {
+                self.events.push(EngineEvent { block: b, kind });
+                last = Some(b);
+            }
+            a = a.wrapping_add(stride as u64);
         }
     }
 
@@ -140,6 +163,7 @@ impl StridePrefetcher {
         self.clock += 1;
         let depth = self.cfg.buffer_depth as u64;
         // An existing stream covering this address path gets refreshed.
+        let mut refreshed = None;
         if let Some(s) = self.streams.iter_mut().find(|s| {
             s.valid && s.stride == stride && {
                 // The miss falls on the stream's recent path.
@@ -152,6 +176,15 @@ impl StridePrefetcher {
             s.next = addr.wrapping_add(stride as u64);
             s.credits = self.cfg.buffer_depth;
             s.lru = self.clock;
+            refreshed = Some((s.next, s.stride, s.credits));
+        }
+        if let Some((next, st, credits)) = refreshed {
+            if self.trace {
+                // The redirected window mostly overlaps the old one; the
+                // tracer keeps one open record per block, so re-queues of
+                // already-tracked blocks are absorbed there.
+                self.emit_window(next, st, credits, EngineEventKind::Queued);
+            }
             return;
         }
         let victim = self
@@ -159,6 +192,7 @@ impl StridePrefetcher {
             .iter_mut()
             .min_by_key(|s| if s.valid { s.lru } else { 0 })
             .expect("nonzero buffers");
+        let old = *victim;
         *victim = Stream {
             valid: true,
             next: addr.wrapping_add(stride as u64),
@@ -167,6 +201,22 @@ impl StridePrefetcher {
             lru: self.clock,
         };
         self.stats.entries_allocated += 1;
+        if self.trace {
+            if old.valid && old.credits > 0 {
+                self.emit_window(
+                    old.next,
+                    old.stride,
+                    old.credits,
+                    EngineEventKind::Squashed(SquashReason::Dropped),
+                );
+            }
+            self.emit_window(
+                addr.wrapping_add(stride as u64),
+                stride,
+                self.cfg.buffer_depth,
+                EngineEventKind::Queued,
+            );
+        }
     }
 }
 
@@ -217,6 +267,9 @@ impl Prefetcher for StridePrefetcher {
             while s.credits > 0 {
                 let block = Addr(s.next).block();
                 if l2.contains(block) || mshrs.contains(block) {
+                    if self.trace {
+                        self.events.push(EngineEvent::squashed(block, SquashReason::Stale));
+                    }
                     s.next = s.next.wrapping_add(s.stride as u64);
                     s.credits -= 1;
                     continue;
@@ -255,6 +308,18 @@ impl Prefetcher for StridePrefetcher {
 
     fn stats(&self) -> EngineStats {
         self.stats
+    }
+
+    fn set_trace_buffer(&mut self, enabled: bool) {
+        self.trace = enabled;
+    }
+
+    fn drain_trace_events(&mut self, sink: &mut Vec<EngineEvent>) {
+        sink.append(&mut self.events);
+    }
+
+    fn queue_occupancy(&self) -> usize {
+        self.streams.iter().filter(|s| s.valid && s.credits > 0).count()
     }
 }
 

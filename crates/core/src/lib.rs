@@ -15,6 +15,8 @@
 //!   [`Scheme`]s.
 //! * [`result`] — per-run metrics: IPC, speedup, coverage, accuracy,
 //!   traffic, and the perfect-L2 gap.
+//! * [`obs`] — the zero-cost observer layer: prefetch-lifecycle tracing
+//!   and epoch metrics sampling, compiled away when disabled.
 //!
 //! # Example
 //!
@@ -43,10 +45,18 @@
 pub mod config;
 pub mod engine;
 pub mod memsys;
+pub mod obs;
 pub mod result;
 pub mod sim;
 
 pub use config::{IdealMode, Scheme, SimConfig};
 pub use memsys::{MemSystem, MissAttribution};
+pub use obs::{
+    EpochSampler, EpochSnapshot, LatencyHist, LifecycleTracer, NullObserver, Observer,
+    ObserverPair, PrefetchOutcome, PrefetchRecord, SquashReason,
+};
 pub use result::{geomean, RunResult};
-pub use sim::{engine_for, run_trace, run_trace_with_engine};
+pub use sim::{
+    engine_for, run_trace, run_trace_observed, run_trace_with_engine,
+    run_trace_with_engine_observed,
+};

@@ -23,6 +23,7 @@ use grp_mem::{
 
 use crate::config::{IdealMode, SimConfig};
 use crate::engine::Prefetcher;
+use crate::obs::{EngineEventKind, EpochSnapshot, NullObserver, Observer};
 
 /// Per-reference L2 demand-miss attribution (Table 6's miss-cause data).
 #[derive(Debug, Clone, Default)]
@@ -95,7 +96,11 @@ impl PartialOrd for PendingFill {
 }
 
 /// The memory system driven by the simulator.
-pub struct MemSystem<'m> {
+///
+/// Generic over an [`Observer`]; the default [`NullObserver`] disables
+/// every hook at compile time, so the un-observed replay path is the
+/// same machine code it was before the observer layer existed.
+pub struct MemSystem<'m, O: Observer = NullObserver> {
     cfg: SimConfig,
     ideal: IdealMode,
     l1: Cache,
@@ -110,9 +115,17 @@ pub struct MemSystem<'m> {
     cursor: u64,
     attribution: MissAttribution,
     prefetches_issued: u64,
+    obs: O,
+    /// Scratch buffer for draining engine-side lifecycle events (kept
+    /// across drains to reuse its allocation).
+    engine_events: Vec<crate::obs::EngineEvent>,
+    /// Last-seen committed-event / dispatched-instruction counts from the
+    /// replay loop, snapshotted into epochs.
+    epoch_events: u64,
+    epoch_instructions: u64,
 }
 
-impl std::fmt::Debug for MemSystem<'_> {
+impl<O: Observer> std::fmt::Debug for MemSystem<'_, O> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("MemSystem")
             .field("cursor", &self.cursor)
@@ -123,9 +136,9 @@ impl std::fmt::Debug for MemSystem<'_> {
 }
 
 impl<'m> MemSystem<'m> {
-    /// Builds the system. `mem` is the functional memory whose contents
-    /// the pointer-scan and indirect engines read; `heap` bounds the
-    /// pointer base-and-bounds test.
+    /// Builds the system with observation disabled. `mem` is the
+    /// functional memory whose contents the pointer-scan and indirect
+    /// engines read; `heap` bounds the pointer base-and-bounds test.
     pub fn new(
         cfg: SimConfig,
         ideal: IdealMode,
@@ -133,6 +146,25 @@ impl<'m> MemSystem<'m> {
         mem: &'m Memory,
         heap: HeapRange,
     ) -> Self {
+        Self::with_observer(cfg, ideal, engine, mem, heap, NullObserver)
+    }
+}
+
+impl<'m, O: Observer> MemSystem<'m, O> {
+    /// Builds the system with an attached observer. When `O::ENABLED`,
+    /// the engine is switched into trace-buffering mode so queued and
+    /// squashed candidates reach the observer.
+    pub fn with_observer(
+        cfg: SimConfig,
+        ideal: IdealMode,
+        mut engine: Box<dyn Prefetcher>,
+        mem: &'m Memory,
+        heap: HeapRange,
+        obs: O,
+    ) -> Self {
+        if O::ENABLED {
+            engine.set_trace_buffer(true);
+        }
         Self {
             l1: Cache::new(cfg.l1),
             l2: Cache::new(cfg.l2),
@@ -149,7 +181,21 @@ impl<'m> MemSystem<'m> {
             prefetches_issued: 0,
             cfg,
             ideal,
+            obs,
+            engine_events: Vec::new(),
+            epoch_events: 0,
+            epoch_instructions: 0,
         }
+    }
+
+    /// The attached observer.
+    pub fn observer(&self) -> &O {
+        &self.obs
+    }
+
+    /// Consumes the system, returning the observer for result export.
+    pub fn into_observer(self) -> O {
+        self.obs
     }
 
     /// L1 data cache state/stats.
@@ -187,6 +233,66 @@ impl<'m> MemSystem<'m> {
         self.prefetches_issued
     }
 
+    /// Forwards engine-buffered lifecycle events (queued/squashed) to the
+    /// observer, stamped with `now`. Called after every engine call so
+    /// event order tracks simulation order.
+    fn drain_engine_events(&mut self, now: u64) {
+        if !O::ENABLED {
+            return;
+        }
+        let mut v = std::mem::take(&mut self.engine_events);
+        self.engine.drain_trace_events(&mut v);
+        for ev in v.drain(..) {
+            match ev.kind {
+                EngineEventKind::Queued => self.obs.prefetch_queued(ev.block, now),
+                EngineEventKind::Squashed(r) => self.obs.prefetch_squashed(ev.block, r, now),
+            }
+        }
+        self.engine_events = v;
+    }
+
+    /// Replay-loop heartbeat: records the committed-event and dispatched-
+    /// instruction counts and emits an epoch snapshot every
+    /// `epoch_interval` events. Free when the observer is disabled.
+    pub fn epoch_tick(&mut self, events: u64, instructions: u64, core_cycle: u64) {
+        if !O::ENABLED {
+            return;
+        }
+        self.epoch_events = events;
+        self.epoch_instructions = instructions;
+        if let Some(interval) = self.obs.epoch_interval() {
+            if events > 0 && events.is_multiple_of(interval) {
+                self.emit_epoch(core_cycle.max(self.cursor));
+            }
+        }
+    }
+
+    fn emit_epoch(&mut self, cycle: u64) {
+        let l2 = self.l2.stats();
+        let dram = self.dram.stats();
+        let snap = EpochSnapshot {
+            events: self.epoch_events,
+            instructions: self.epoch_instructions,
+            cycles: cycle,
+            l2_demand_accesses: l2.demand_accesses,
+            l2_demand_misses: l2.demand_misses,
+            useful_prefetches: l2.useful_prefetches,
+            useless_prefetches: l2.useless_prefetches,
+            late_prefetch_merges: self.l2_mshrs.late_prefetch_merges(),
+            prefetches_issued: self.prefetches_issued,
+            queue_occupancy: self.engine.queue_occupancy(),
+            l2_mshr_occupancy: self.l2_mshrs.occupancy(),
+            l2_mshr_prefetches: self.l2_mshrs.prefetch_inflight(),
+            demand_blocks: dram.demand_blocks,
+            prefetch_blocks: dram.prefetch_blocks,
+            writeback_blocks: dram.writeback_blocks,
+            row_hits: dram.row_hits,
+            row_misses: dram.row_misses,
+            channel_busy_cycles: self.dram.channel_busy_cycles().to_vec(),
+        };
+        self.obs.epoch(&snap);
+    }
+
     fn schedule_fill(&mut self, time: u64, block: BlockAddr, level: FillLevel) {
         self.fills.push(Reverse(PendingFill { time, block, level }));
         // The in-flight block set lives in the MSHR files (they already
@@ -203,7 +309,20 @@ impl<'m> MemSystem<'m> {
         } else {
             InsertPriority::Mru
         };
-        if let Some(v) = self.l2.fill(block, prio, prefetch, false) {
+        let out = self.l2.fill_ext(block, prio, prefetch, false);
+        if O::ENABLED {
+            if out.merged_useful {
+                // A demand fill landed on a resident prefetched line: the
+                // prefetch won the race and counts as used.
+                self.obs.prefetch_first_use(block, fill_time);
+            }
+            if let Some(v) = out.victim {
+                if v.was_unused_prefetch {
+                    self.obs.prefetch_evicted_unused(v.block, fill_time);
+                }
+            }
+        }
+        if let Some(v) = out.victim {
             if v.dirty {
                 self.dram.issue(v.block, RequestKind::Writeback, fill_time);
             }
@@ -231,6 +350,11 @@ impl<'m> MemSystem<'m> {
                     .l2_mshrs
                     .complete(f.block)
                     .expect("L2 fill without MSHR entry");
+                if O::ENABLED {
+                    // Before insert_l2, so the tracer records the fill
+                    // before any first-use/eviction it triggers.
+                    self.obs.l2_fill(f.block, entry.prefetch_fill, f.time);
+                }
                 self.insert_l2(f.block, entry.prefetch_fill, f.time);
                 if entry.demand {
                     // Piggyback the L1 fill for the demand path.
@@ -240,6 +364,9 @@ impl<'m> MemSystem<'m> {
                 if entry.pointer_level > 0 {
                     self.engine
                         .on_fill(f.block, entry.pointer_level, self.mem, self.heap, &self.l2);
+                    if O::ENABLED {
+                        self.drain_engine_events(f.time);
+                    }
                 }
             }
         }
@@ -274,10 +401,14 @@ impl<'m> MemSystem<'m> {
         if !self.prefetch_mshr_headroom() {
             return false;
         }
-        let Some(c) = self
+        let cand = self
             .engine
-            .next_candidate(&self.l2, &self.l2_mshrs, &self.dram, now)
-        else {
+            .next_candidate(&self.l2, &self.l2_mshrs, &self.dram, now);
+        if O::ENABLED {
+            // A scan can squash stale candidates even when it fails.
+            self.drain_engine_events(now);
+        }
+        let Some(c) = cand else {
             return false;
         };
         let outcome =
@@ -286,6 +417,11 @@ impl<'m> MemSystem<'m> {
         debug_assert_eq!(outcome, MshrOutcome::Allocated);
         let req = self.dram.issue(c.block, RequestKind::Prefetch, now);
         self.prefetches_issued += 1;
+        if O::ENABLED {
+            let channel = self.dram.channel_of(c.block);
+            self.obs
+                .prefetch_issued(c.block, now, channel, req.row_hit, req.complete_at);
+        }
         self.schedule_fill(req.complete_at, c.block, FillLevel::L2);
         true
     }
@@ -389,7 +525,11 @@ impl<'m> MemSystem<'m> {
         }
 
         // L2 lookup.
-        if self.l2.access(block, false) == grp_mem::LookupResult::Hit {
+        let l2_out = self.l2.access_ext(block, false);
+        if l2_out.hit {
+            if O::ENABLED && l2_out.first_prefetch_use {
+                self.obs.prefetch_first_use(block, l2_time);
+            }
             let done = l2_time + self.cfg.l2_latency;
             self.l1_mshrs.allocate_or_merge(block, true, None, 0, write);
             self.schedule_fill(done, block, FillLevel::L1 { dirty: write });
@@ -398,12 +538,21 @@ impl<'m> MemSystem<'m> {
 
         // L2 demand miss.
         self.attribution.record(ref_id);
+        if O::ENABLED {
+            self.obs.l2_demand_miss(block, l2_time);
+        }
         let plevel = self
             .engine
             .on_demand_miss(block, addr, ref_id, hints, write, &self.l2);
+        if O::ENABLED {
+            self.drain_engine_events(l2_time);
+        }
 
         // Merge with an in-flight fetch (possibly a late prefetch).
         if let Some(ft) = self.l2_mshrs.fill_time(block) {
+            if O::ENABLED && self.l2_mshrs.get(block).is_some_and(|e| e.prefetch_fill) {
+                self.obs.late_prefetch_merge(block, l2_time);
+            }
             self.l2_mshrs
                 .allocate_or_merge(block, true, None, plevel, write);
             self.l1_mshrs.allocate_or_merge(block, true, None, 0, write);
@@ -426,6 +575,12 @@ impl<'m> MemSystem<'m> {
         self.l1_mshrs.allocate_or_merge(block, true, None, 0, write);
         // The L1 fill piggybacks on the L2 demand fill at completion.
         self.l1_mshrs.set_fill_time(block, req.complete_at);
+        // Waiting out the full MSHR file can let a prefetch for this very
+        // block issue; the allocate below then merges into it — a late
+        // prefetch, same as the fill-time merge path above.
+        if O::ENABLED && self.l2_mshrs.get(block).is_some_and(|e| e.prefetch_fill) {
+            self.obs.late_prefetch_merge(block, issue);
+        }
         self.l2_mshrs
             .allocate_or_merge(block, true, None, plevel, write);
         self.schedule_fill(req.complete_at, block, FillLevel::L2);
@@ -446,6 +601,9 @@ impl<'m> MemSystem<'m> {
         let (mem, l2) = (self.mem, &self.l2);
         self.engine
             .indirect_prefetch(base, elem_size, index_addr, mem, l2);
+        if O::ENABLED {
+            self.drain_engine_events(t);
+        }
     }
 
     /// Drains all pending fills (and any prefetches issuable before the
@@ -453,8 +611,19 @@ impl<'m> MemSystem<'m> {
     pub fn finish(&mut self, final_cycle: u64) {
         self.advance_to(final_cycle);
         // Apply remaining in-flight fills without issuing new prefetches.
+        let mut last_fill = 0u64;
         while let Some(Reverse(f)) = self.fills.pop() {
+            last_fill = last_fill.max(f.time);
             self.process_fill(f);
+        }
+        if O::ENABLED {
+            let end = self.cursor.max(last_fill);
+            if self.obs.epoch_interval().is_some() {
+                // Close the time-series with a final snapshot so the last
+                // partial epoch is never lost.
+                self.emit_epoch(end);
+            }
+            self.obs.run_end(end);
         }
     }
 }

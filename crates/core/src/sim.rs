@@ -8,6 +8,7 @@ use crate::engine::region::{RegionConfig, RegionPrefetcher};
 use crate::engine::stride::{StrideConfig, StridePrefetcher};
 use crate::engine::{NoPrefetcher, Prefetcher};
 use crate::memsys::MemSystem;
+use crate::obs::{NullObserver, Observer};
 use crate::result::RunResult;
 
 /// Builds the prefetch engine a scheme calls for.
@@ -68,8 +69,40 @@ pub fn run_trace_with_engine(
     cfg: &SimConfig,
     engine: Box<dyn Prefetcher>,
 ) -> RunResult {
+    run_trace_with_engine_observed(trace, mem, heap, scheme, cfg, engine, NullObserver).0
+}
+
+/// Like [`run_trace`], threading an [`Observer`] through the replay.
+///
+/// Returns the observer alongside the result so callers can pull the
+/// collected trace/metrics back out. With [`NullObserver`] this
+/// monomorphizes to exactly the unobserved replay loop.
+pub fn run_trace_observed<O: Observer>(
+    trace: &Trace,
+    mem: &Memory,
+    heap: HeapRange,
+    scheme: Scheme,
+    cfg: &SimConfig,
+    obs: O,
+) -> (RunResult, O) {
+    let engine = engine_for(scheme, cfg);
+    run_trace_with_engine_observed(trace, mem, heap, scheme, cfg, engine, obs)
+}
+
+/// The fully general replay: caller-supplied engine *and* observer.
+#[allow(clippy::too_many_arguments)]
+pub fn run_trace_with_engine_observed<O: Observer>(
+    trace: &Trace,
+    mem: &Memory,
+    heap: HeapRange,
+    scheme: Scheme,
+    cfg: &SimConfig,
+    engine: Box<dyn Prefetcher>,
+    obs: O,
+) -> (RunResult, O) {
     let mut window = Window::new(cfg.window);
-    let mut ms = MemSystem::new(*cfg, scheme.ideal_mode(), engine, mem, heap);
+    let mut ms = MemSystem::with_observer(*cfg, scheme.ideal_mode(), engine, mem, heap, obs);
+    let mut events = 0u64;
     let mut load_completions: Vec<u64> = Vec::with_capacity(trace.loads() as usize);
     let mut load_latency_sum = 0u64;
 
@@ -123,12 +156,19 @@ pub fn run_trace_with_engine(
                 window.push(1, d + 1);
             }
         }
+        // Epoch heartbeat: counted per committed trace event, stamped with
+        // retired-instruction and core-cycle progress. Compiled out (with
+        // the counter) when the observer is the no-op default.
+        if O::ENABLED {
+            events += 1;
+            ms.epoch_tick(events, window.dispatched(), window.now());
+        }
     }
 
     let cycles = window.finish();
     ms.finish(cycles);
 
-    RunResult {
+    let result = RunResult {
         scheme,
         cycles,
         instructions: window.retired(),
@@ -141,7 +181,8 @@ pub fn run_trace_with_engine(
         resident_unused_prefetches: ms.l2().resident_unused_prefetches(),
         attribution: ms.attribution().clone(),
         load_latency_sum,
-    }
+    };
+    (result, ms.into_observer())
 }
 
 #[cfg(test)]

@@ -63,6 +63,30 @@ pub enum LookupResult {
     Miss,
 }
 
+/// Detailed outcome of a demand lookup, for observers that need to see
+/// first-touches of prefetched lines (the `useful_prefetches` increment)
+/// as they happen rather than in the aggregate counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AccessOutcome {
+    /// Whether the lookup hit.
+    pub hit: bool,
+    /// True when this access was the first demand touch of a line that
+    /// was brought in by a prefetch (`useful_prefetches` was bumped).
+    pub first_prefetch_use: bool,
+}
+
+/// Detailed outcome of a fill, for observers: the eviction (if any) plus
+/// whether a demand fill merged into an already-present prefetched line
+/// (which also bumps `useful_prefetches`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FillOutcome {
+    /// The evicted block, if the fill displaced a valid line.
+    pub victim: Option<Victim>,
+    /// True when a demand fill found the block already present and
+    /// marked prefetched (the prefetch won the race and was useful).
+    pub merged_useful: bool,
+}
+
 /// A block evicted by [`Cache::fill`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Victim {
@@ -214,7 +238,17 @@ impl Cache {
     /// Demand access (load or store). On a hit the line is promoted to MRU
     /// and, for a write, marked dirty. The caller handles misses by fetching
     /// the block and calling [`Cache::fill`].
+    #[inline]
     pub fn access(&mut self, b: BlockAddr, write: bool) -> LookupResult {
+        if self.access_ext(b, write).hit {
+            LookupResult::Hit
+        } else {
+            LookupResult::Miss
+        }
+    }
+
+    /// [`Cache::access`] with the observer-layer detail attached.
+    pub fn access_ext(&mut self, b: BlockAddr, write: bool) -> AccessOutcome {
         self.stats.demand_accesses += 1;
         let set = self.set_of(b);
         let tag = self.tag_of(b);
@@ -223,7 +257,8 @@ impl Cache {
         let hit_way = lines.iter().position(|l| l.valid && l.tag == tag);
         match hit_way {
             Some(w) => {
-                if lines[w].prefetched {
+                let first_prefetch_use = lines[w].prefetched;
+                if first_prefetch_use {
                     lines[w].prefetched = false;
                     self.stats.useful_prefetches += 1;
                 }
@@ -232,11 +267,17 @@ impl Cache {
                 }
                 // Promote to MRU: rotate [0..=w] right by one.
                 lines[..=w].rotate_right(1);
-                LookupResult::Hit
+                AccessOutcome {
+                    hit: true,
+                    first_prefetch_use,
+                }
             }
             None => {
                 self.stats.demand_misses += 1;
-                LookupResult::Miss
+                AccessOutcome {
+                    hit: false,
+                    first_prefetch_use: false,
+                }
             }
         }
     }
@@ -248,6 +289,7 @@ impl Cache {
     /// fills). `dirty` pre-dirties the line (used when a store triggered the
     /// fill, i.e. write-allocate). Filling a block already present updates
     /// its flags without duplicating it.
+    #[inline]
     pub fn fill(
         &mut self,
         b: BlockAddr,
@@ -255,6 +297,17 @@ impl Cache {
         is_prefetch: bool,
         dirty: bool,
     ) -> Option<Victim> {
+        self.fill_ext(b, prio, is_prefetch, dirty).victim
+    }
+
+    /// [`Cache::fill`] with the observer-layer detail attached.
+    pub fn fill_ext(
+        &mut self,
+        b: BlockAddr,
+        prio: InsertPriority,
+        is_prefetch: bool,
+        dirty: bool,
+    ) -> FillOutcome {
         let set = self.set_of(b);
         let tag = self.tag_of(b);
         if is_prefetch {
@@ -268,14 +321,18 @@ impl Cache {
         if let Some(w) = lines.iter().position(|l| l.valid && l.tag == tag) {
             // Already present (e.g. a prefetch raced a demand fill): merge.
             lines[w].dirty |= dirty;
-            if !is_prefetch && lines[w].prefetched {
+            let merged_useful = !is_prefetch && lines[w].prefetched;
+            if merged_useful {
                 lines[w].prefetched = false;
                 self.stats.useful_prefetches += 1;
             }
             if matches!(prio, InsertPriority::Mru) {
                 lines[..=w].rotate_right(1);
             }
-            return None;
+            return FillOutcome {
+                victim: None,
+                merged_useful,
+            };
         }
 
         // Choose victim: an invalid way if any, else the LRU way.
@@ -311,7 +368,10 @@ impl Cache {
             InsertPriority::Mru => lines[..=victim_way].rotate_right(1),
             InsertPriority::Lru => lines[victim_way..].rotate_left(1),
         }
-        victim
+        FillOutcome {
+            victim,
+            merged_useful: false,
+        }
     }
 
     /// Marks `b` dirty if present (used when an upper-level cache writes

@@ -120,6 +120,8 @@ pub struct Dram {
     cfg: DramConfig,
     channels: Vec<Channel>,
     stats: DramStats,
+    /// Accumulated data-bus busy cycles per channel (observer sampling).
+    busy_cycles: Vec<u64>,
 }
 
 impl Dram {
@@ -150,6 +152,7 @@ impl Dram {
             cfg,
             channels,
             stats: DramStats::default(),
+            busy_cycles: vec![0; cfg.channels],
         }
     }
 
@@ -247,6 +250,7 @@ impl Dram {
             ch.demand_bus_free_at = ch.demand_bus_free_at.max(start + occupancy);
             ch.demand_busy_until = ch.demand_busy_until.max(complete_at);
         }
+        self.busy_cycles[ch_idx] += occupancy;
 
         match kind {
             RequestKind::Demand => self.stats.demand_blocks += 1,
@@ -270,6 +274,12 @@ impl Dram {
     /// Earliest cycle at which `block`'s channel could start a new access.
     pub fn channel_free_at(&self, block: BlockAddr) -> u64 {
         self.channels[self.channel_of(block)].bus_free_at
+    }
+
+    /// Accumulated data-bus busy cycles, one slot per channel — the
+    /// numerator of a per-channel busy fraction over any cycle window.
+    pub fn channel_busy_cycles(&self) -> &[u64] {
+        &self.busy_cycles
     }
 
     /// Earliest cycle at which *any* channel is free — when the

@@ -49,8 +49,11 @@ pub use addr::{
     REGION_SHIFT,
 };
 pub use alloc::{HeapAllocator, HeapRange};
-pub use cache::{Cache, CacheConfig, CacheStats, InsertPriority, LookupResult};
-pub use dram::{Dram, DramConfig, DramRequest, RequestKind};
+pub use cache::{
+    AccessOutcome, Cache, CacheConfig, CacheStats, FillOutcome, InsertPriority, LookupResult,
+    Victim,
+};
+pub use dram::{Dram, DramConfig, DramRequest, DramStats, RequestKind};
 pub use memory::Memory;
 pub use mshr::{MshrEntry, MshrFile, MshrOutcome};
 pub use stats::TrafficStats;

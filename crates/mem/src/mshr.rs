@@ -87,6 +87,12 @@ impl MshrFile {
         self.peak_occupancy
     }
 
+    /// Registers currently holding prefetch fills (for epoch occupancy
+    /// sampling).
+    pub fn prefetch_inflight(&self) -> usize {
+        self.entries.iter().filter(|e| e.prefetch_fill).count()
+    }
+
     /// Number of merges into an existing entry.
     pub fn merges(&self) -> u64 {
         self.merges

@@ -31,7 +31,7 @@
 pub mod kernels;
 
 use grp_compiler::{analyze, AnalysisConfig};
-use grp_core::{run_trace, RunResult, Scheme, SimConfig};
+use grp_core::{run_trace, run_trace_observed, Observer, RunResult, Scheme, SimConfig};
 use grp_cpu::Trace;
 use grp_ir::interp::Interpreter;
 use grp_ir::{Bindings, HintMap, Program};
@@ -123,6 +123,14 @@ impl BuiltWorkload {
         let cc = scheme.compiler_config();
         let (trace, mem) = self.trace(cc.as_ref());
         run_trace(&trace, &mem, self.heap, scheme, cfg)
+    }
+
+    /// Like [`BuiltWorkload::run`], threading an observer through the
+    /// timing simulation and returning it alongside the result.
+    pub fn run_observed<O: Observer>(&self, scheme: Scheme, cfg: &SimConfig, obs: O) -> (RunResult, O) {
+        let cc = scheme.compiler_config();
+        let (trace, mem) = self.trace(cc.as_ref());
+        run_trace_observed(&trace, &mem, self.heap, scheme, cfg, obs)
     }
 
     /// The hint map the given compiler configuration derives.

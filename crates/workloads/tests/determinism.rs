@@ -8,7 +8,7 @@
 //! and simulating a kernel twice must produce bit-identical traces and
 //! simulator statistics.
 
-use grp_core::{RunResult, Scheme, SimConfig};
+use grp_core::{LifecycleTracer, RunResult, Scheme, SimConfig};
 use grp_workloads::{all, Scale};
 
 /// The stats a regression would corrupt first, as one comparable
@@ -77,6 +77,52 @@ fn traces_are_reproducible_event_for_event() {
             w.name
         );
     }
+}
+
+/// The exported lifecycle trace must be byte-identical across two
+/// identically-seeded observed runs: the JSONL is the artifact other
+/// tools diff, so even HashMap-iteration-order nondeterminism in the
+/// tracer internals would corrupt it.
+#[test]
+fn lifecycle_jsonl_is_byte_identical_across_builds() {
+    let cfg = SimConfig::paper();
+    for w in [
+        grp_workloads::by_name("gzip").expect("gzip exists"),
+        grp_workloads::by_name("mcf").expect("mcf exists"),
+        grp_workloads::by_name("ammp").expect("ammp exists"),
+    ] {
+        let (_, ta) = w
+            .build(Scale::Test)
+            .run_observed(Scheme::GrpVar, &cfg, LifecycleTracer::new());
+        let (_, tb) = w
+            .build(Scale::Test)
+            .run_observed(Scheme::GrpVar, &cfg, LifecycleTracer::new());
+        assert!(
+            !ta.jsonl().is_empty(),
+            "workload '{}' traced no prefetch lifecycle at all",
+            w.name
+        );
+        assert_eq!(
+            ta.jsonl(),
+            tb.jsonl(),
+            "workload '{}' lifecycle JSONL diverged across identically-seeded builds",
+            w.name
+        );
+    }
+}
+
+/// Threading an observer through the replay must not perturb the
+/// simulation itself: observed and unobserved runs agree on every
+/// simulator statistic.
+#[test]
+fn observed_runs_match_unobserved_runs() {
+    let cfg = SimConfig::paper();
+    let w = grp_workloads::by_name("equake").expect("equake exists");
+    let plain = Fingerprint::of(&w.build(Scale::Test).run(Scheme::GrpVar, &cfg));
+    let (observed, _) = w
+        .build(Scale::Test)
+        .run_observed(Scheme::GrpVar, &cfg, LifecycleTracer::new());
+    assert_eq!(plain, Fingerprint::of(&observed));
 }
 
 /// Different salts must give different streams: if two kernels ever

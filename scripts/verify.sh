@@ -32,13 +32,23 @@ echo "== perf smoke: harness at test scale (offline) =="
 # Write the smoke trajectory to a scratch file so CI runs never touch
 # the committed BENCH_perf.json history.
 PERF_TMP="$(mktemp)"
-trap 'rm -f "$PERF_TMP"' EXIT
+TRACE_TMP="$(mktemp -d)"
+trap 'rm -f "$PERF_TMP"; rm -rf "$TRACE_TMP"' EXIT
 # The harness expects either a valid trajectory or no file at all, so
 # drop mktemp's empty placeholder and let the run create it.
 rm -f "$PERF_TMP"
 cargo run --release -q --offline -p grp-bench --bin perf -- \
     --scale test --label verify-smoke --out "$PERF_TMP"
 cargo run --release -q --offline -p grp-bench --bin perf -- --check "$PERF_TMP"
+
+echo "== trace smoke: lifecycle artifacts round-trip (offline) =="
+# The trace bin self-checks conservation + bit-exact metrics before
+# writing; --check re-parses the written artifacts with the in-tree
+# JSON reader and re-asserts conservation from the files alone.
+cargo run --release -q --offline -p grp-bench --bin trace -- \
+    gzip --scale test --trace-out "$TRACE_TMP/gzip" > /dev/null
+cargo run --release -q --offline -p grp-bench --bin trace -- \
+    --check "$TRACE_TMP/gzip"
 
 echo "== perf trajectory: committed BENCH_perf.json parses =="
 if [ ! -f BENCH_perf.json ]; then
