@@ -1,0 +1,175 @@
+//! Strict command-line flag parsing shared by the bench binaries.
+//!
+//! Every accessor here rejects, with an error naming the valid values,
+//! the three argv shapes that ad-hoc `position + get(i + 1)` lookups
+//! silently mis-handle:
+//!
+//! * the flag appearing last (`… --scale`) — the missing value used to
+//!   fall back to a default, so a typo'd invocation ran the wrong
+//!   configuration without a word;
+//! * a duplicated flag (`--scale test --scale paper`) — only one
+//!   occurrence was ever read, and which one depended on the lookup;
+//! * a value that is itself a flag (`--scale --verbose`) — the next
+//!   flag was swallowed as the value.
+
+/// Looks up `--flag <value>`. `Ok(None)` when the flag is absent;
+/// an error naming `valid` on a duplicate flag, a missing value, or a
+/// `--`-prefixed value.
+pub fn strict_value(args: &[String], flag: &str, valid: &str) -> Result<Option<String>, String> {
+    let mut found: Option<String> = None;
+    let mut i = 0;
+    while i < args.len() {
+        if args[i] == flag {
+            if found.is_some() {
+                return Err(format!("{flag} given more than once (valid: {valid})"));
+            }
+            match args.get(i + 1) {
+                None => {
+                    return Err(format!("{flag} requires a value (valid: {valid})"));
+                }
+                Some(v) if v.starts_with("--") => {
+                    return Err(format!(
+                        "{flag} requires a value, got flag '{v}' (valid: {valid})"
+                    ));
+                }
+                Some(v) => {
+                    found = Some(v.clone());
+                    i += 1;
+                }
+            }
+        }
+        i += 1;
+    }
+    Ok(found)
+}
+
+/// [`strict_value`] for integer flags; additionally errors when the
+/// value does not parse as a `u64`. Accepts a `0x` prefix so printed
+/// reproducer lines (`--seed 0x5eed…`) paste back verbatim.
+pub fn strict_u64(args: &[String], flag: &str, valid: &str) -> Result<Option<u64>, String> {
+    match strict_value(args, flag, valid)? {
+        None => Ok(None),
+        Some(v) => {
+            let parsed = match v.strip_prefix("0x").or_else(|| v.strip_prefix("0X")) {
+                Some(hex) => u64::from_str_radix(&hex.replace('_', ""), 16),
+                None => v.parse(),
+            };
+            parsed
+                .map(Some)
+                .map_err(|_| format!("{flag} requires an integer, got '{v}' (valid: {valid})"))
+        }
+    }
+}
+
+/// Parses the worker-count override for parallel precompute: the
+/// `--jobs N` flag, falling back to the `GRP_JOBS` environment variable
+/// when the flag is absent. `Ok(None)` means "use the default"
+/// (available parallelism); `0` and non-numeric values are errors from
+/// either source.
+pub fn parse_jobs_args(args: &[String]) -> Result<Option<usize>, String> {
+    let from_flag = strict_u64(args, "--jobs", "a positive worker count")?;
+    let n = match from_flag {
+        Some(n) => Some(n),
+        None => match std::env::var("GRP_JOBS") {
+            Ok(v) => Some(v.parse::<u64>().map_err(|_| {
+                format!("GRP_JOBS requires an integer, got '{v}' (valid: a positive worker count)")
+            })?),
+            Err(_) => None,
+        },
+    };
+    match n {
+        Some(0) => Err("--jobs/GRP_JOBS must be at least 1 (valid: a positive worker count)".into()),
+        Some(n) => Ok(Some(n as usize)),
+        None => Ok(None),
+    }
+}
+
+/// Like [`parse_jobs_args`] over the process argv, exiting with the
+/// error on stderr (status 2) instead of returning it — the same
+/// contract as `scale_from_args`.
+pub fn jobs_from_args() -> Option<usize> {
+    let args: Vec<String> = std::env::args().collect();
+    parse_jobs_args(&args).unwrap_or_else(|e| {
+        eprintln!("error: {e}");
+        std::process::exit(2);
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &[&str]) -> Vec<String> {
+        s.iter().map(|a| a.to_string()).collect()
+    }
+
+    #[test]
+    fn absent_flag_is_none() {
+        assert_eq!(strict_value(&argv(&["run"]), "--x", "v"), Ok(None));
+        assert_eq!(strict_u64(&argv(&["run"]), "--x", "v"), Ok(None));
+    }
+
+    #[test]
+    fn present_flag_parses() {
+        let args = argv(&["run", "--epoch", "512", "--label", "a-b"]);
+        assert_eq!(
+            strict_value(&args, "--label", "any").unwrap().as_deref(),
+            Some("a-b")
+        );
+        assert_eq!(strict_u64(&args, "--epoch", "int").unwrap(), Some(512));
+    }
+
+    #[test]
+    fn hex_integer_parses() {
+        let args = argv(&["run", "--seed", "0x5eedc4ec00000000"]);
+        assert_eq!(
+            strict_u64(&args, "--seed", "a seed").unwrap(),
+            Some(0x5eed_c4ec_0000_0000)
+        );
+        let err = strict_u64(&argv(&["run", "--seed", "0xzz"]), "--seed", "a seed").unwrap_err();
+        assert!(err.contains("0xzz"), "{err}");
+    }
+
+    #[test]
+    fn flag_at_end_of_argv_errors() {
+        let err = strict_value(&argv(&["run", "--scale"]), "--scale", "test, small, paper")
+            .unwrap_err();
+        assert!(err.contains("requires a value"), "{err}");
+        assert!(err.contains("test, small, paper"), "error lists valid values: {err}");
+    }
+
+    #[test]
+    fn duplicated_flag_errors() {
+        let args = argv(&["run", "--scale", "test", "--scale", "paper"]);
+        let err = strict_value(&args, "--scale", "test, small, paper").unwrap_err();
+        assert!(err.contains("more than once"), "{err}");
+        assert!(err.contains("test, small, paper"), "{err}");
+    }
+
+    #[test]
+    fn flag_like_value_errors() {
+        let args = argv(&["run", "--scale", "--verbose"]);
+        let err = strict_value(&args, "--scale", "test, small, paper").unwrap_err();
+        assert!(err.contains("--verbose"), "error names the swallowed flag: {err}");
+        assert!(err.contains("test, small, paper"), "{err}");
+    }
+
+    #[test]
+    fn non_numeric_integer_errors() {
+        let args = argv(&["run", "--epoch", "lots"]);
+        let err = strict_u64(&args, "--epoch", "an event count").unwrap_err();
+        assert!(err.contains("lots"), "{err}");
+        assert!(err.contains("an event count"), "{err}");
+    }
+
+    #[test]
+    fn jobs_flag_validation() {
+        assert_eq!(parse_jobs_args(&argv(&["run", "--jobs", "3"])), Ok(Some(3)));
+        let err = parse_jobs_args(&argv(&["run", "--jobs", "0"])).unwrap_err();
+        assert!(err.contains("at least 1"), "{err}");
+        let err = parse_jobs_args(&argv(&["run", "--jobs", "many"])).unwrap_err();
+        assert!(err.contains("many"), "{err}");
+        let err = parse_jobs_args(&argv(&["run", "--jobs"])).unwrap_err();
+        assert!(err.contains("requires a value"), "{err}");
+    }
+}

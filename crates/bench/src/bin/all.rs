@@ -1,6 +1,8 @@
 //! Reproduces the complete evaluation: every table and figure, sharing
 //! one memoized suite. `--scale test|small|paper` selects problem size;
-//! `--json <path>` additionally writes machine-readable per-run results.
+//! `--jobs N` (or the `GRP_JOBS` env var) caps the parallel precompute
+//! workers; `--json <path>` additionally writes machine-readable
+//! per-run results.
 //!
 //! Observability: `--trace-out <prefix>` re-runs the perf benchmarks
 //! under GRP/Var with the lifecycle tracer and writes per-benchmark
@@ -15,10 +17,12 @@ use grp_workloads::BenchClass;
 
 fn main() {
     let scale = scale_from_args();
+    let jobs = grp_bench::args::jobs_from_args();
     let mut suite = Suite::new(scale).verbose();
     println!("GRP reproduction — full evaluation at {scale:?} scale\n");
-    // Warm the memo table in parallel: one worker per benchmark.
-    suite.precompute(
+    // Warm the memo table in parallel: one worker per benchmark unless
+    // --jobs / GRP_JOBS caps the pool.
+    suite.precompute_jobs(
         &suite.all_names(),
         &[
             grp_core::Scheme::NoPrefetch,
@@ -34,6 +38,7 @@ fn main() {
             grp_core::Scheme::PerfectL1,
             grp_core::Scheme::PerfectL2,
         ],
+        jobs,
     );
     println!("{}", experiments::figure1(&mut suite));
     let (_, t1) = experiments::table1(&mut suite);

@@ -1,0 +1,201 @@
+//! Correctness gate: differential oracle + seeded invariant fuzzing.
+//!
+//! Two phases, both offline and fully deterministic:
+//!
+//! 1. **Kernel differential** — replays every registry benchmark at the
+//!    chosen scale under no-prefetch through both the optimized
+//!    [`MemSystem`](grp_core::MemSystem) and the naive reference oracle,
+//!    asserting event-for-event agreement (hit/miss class, completion
+//!    cycle, final cache contents, traffic).
+//! 1b. **Region pressure** — one fixed case of sparse single-miss
+//!    regions saturating the engine queue, run through every scheme
+//!    with invariants; this makes the unbounded-queue injection
+//!    deterministically detectable.
+//! 2. **Seeded fuzzing** — generates `--cases` random access traces
+//!    (spatial / pointer / indirect / aliasing / store idioms, see
+//!    [`grp_bench::fuzz`]), differentially validates each against the
+//!    oracle, then runs each through *every* scheme with the full
+//!    [`InvariantObserver`] attached (lifecycle conservation, occupancy
+//!    bounds, structural walks). A failing case is greedily shrunk to a
+//!    minimal plan before reporting.
+//!
+//! ```text
+//! cargo run --release -p grp-bench --bin check -- \
+//!     [--cases N] [--seed S] [--scale test|small|paper] \
+//!     [--inject none|mru-evict|unbounded-queue]
+//! ```
+//!
+//! `--inject` plants a deliberate bug (an evict-MRU replacement fault
+//! or an unbounded engine queue) so CI can assert the gate still has
+//! teeth: an injected run must exit nonzero.
+
+use grp_bench::args::{strict_u64, strict_value};
+use grp_bench::fuzz::{materialize, FuzzPlan};
+use grp_bench::suite::parse_scale_args;
+use grp_core::{
+    differential_check, engine_for, run_trace_with_engine_observed, InvariantObserver,
+    OracleFault, Scheme, SimConfig,
+};
+use grp_testkit::proptest::{any, greedy_shrink};
+use grp_testkit::proptest::Arbitrary;
+use grp_testkit::Rng;
+
+/// Which deliberate bug to plant (`--inject`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Inject {
+    None,
+    /// Caches evict the MRU way instead of LRU — caught by the oracle
+    /// differential (wrong victims ⇒ diverging hit/miss stream).
+    MruEvict,
+    /// The region engine stops bounding its queue — caught by the
+    /// invariant observer's occupancy checks.
+    UnboundedQueue,
+}
+
+impl Inject {
+    fn parse(s: &str) -> Option<Inject> {
+        match s {
+            "none" => Some(Inject::None),
+            "mru-evict" => Some(Inject::MruEvict),
+            "unbounded-queue" => Some(Inject::UnboundedQueue),
+            _ => None,
+        }
+    }
+
+    fn oracle_fault(self) -> OracleFault {
+        if self == Inject::MruEvict {
+            OracleFault::EvictMru
+        } else {
+            OracleFault::None
+        }
+    }
+}
+
+/// Runs one materialized case through the differential oracle and
+/// every scheme with invariants attached. First failure wins.
+fn check_case(case: &grp_bench::fuzz::FuzzCase, cfg: &SimConfig, inject: Inject) -> Result<(), String> {
+    differential_check(&case.trace, &case.mem, case.heap, cfg, inject.oracle_fault())
+        .map_err(|e| format!("oracle differential (no-prefetch): {e}"))?;
+    for scheme in Scheme::ALL {
+        let mut engine = engine_for(scheme, cfg);
+        if inject == Inject::UnboundedQueue {
+            engine.inject_fault_unbounded_queue();
+        }
+        let obs = InvariantObserver::new(cfg).with_interval(256);
+        let (_, obs) = run_trace_with_engine_observed(
+            &case.trace,
+            &case.mem,
+            case.heap,
+            scheme,
+            cfg,
+            engine,
+            obs,
+        );
+        if !obs.ok() {
+            return Err(format!(
+                "invariants under {scheme:?} ({} violations): {}",
+                obs.total_violations(),
+                obs.violations().join("; ")
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// [`check_case`] on a freshly materialized plan — the shape the
+/// shrinker minimizes over.
+fn check_plan(plan: &FuzzPlan, cfg: &SimConfig, inject: Inject) -> Result<(), String> {
+    check_case(&materialize(plan), cfg, inject)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let usage_err = |e: String| -> ! {
+        eprintln!("error: {e}");
+        std::process::exit(2);
+    };
+    let scale = parse_scale_args(&args).unwrap_or_else(|e| usage_err(e));
+    let cases = strict_u64(&args, "--cases", "a case count")
+        .unwrap_or_else(|e| usage_err(e))
+        .unwrap_or(64);
+    let seed = strict_u64(&args, "--seed", "a 64-bit seed")
+        .unwrap_or_else(|e| usage_err(e))
+        .unwrap_or(0x5eed_c4ec_0000_0000);
+    let inject = match strict_value(&args, "--inject", "none, mru-evict, unbounded-queue")
+        .unwrap_or_else(|e| usage_err(e))
+    {
+        None => Inject::None,
+        Some(s) => Inject::parse(&s).unwrap_or_else(|| {
+            usage_err(format!(
+                "unknown injection '{s}' (valid: none, mru-evict, unbounded-queue)"
+            ))
+        }),
+    };
+
+    let cfg = SimConfig::paper();
+    let mut failures = 0u64;
+
+    // Phase 1: kernel differential against the reference oracle.
+    let names: Vec<&'static str> = grp_workloads::all().iter().map(|w| w.name).collect();
+    println!(
+        "phase 1: oracle differential on {} kernels ({:?} scale, inject: {inject:?})",
+        names.len(),
+        scale
+    );
+    for name in &names {
+        let built = grp_workloads::by_name(name)
+            .expect("registered")
+            .build(scale.workload_scale());
+        let (trace, mem) = built.trace(None);
+        match differential_check(&trace, &mem, built.heap, &cfg, inject.oracle_fault()) {
+            Ok(rep) => println!("  {name}: OK ({} accesses, {} cycles)", rep.accesses, rep.cycles),
+            Err(e) => {
+                failures += 1;
+                println!("  {name}: DIVERGED\n    {e}");
+            }
+        }
+    }
+
+    // Phase 1b: a fixed region-pressure case no random plan reaches —
+    // thousands of single-miss regions saturating the engine queue.
+    // This is what makes the unbounded-queue injection deterministic.
+    match check_case(&grp_bench::fuzz::region_pressure_case(), &cfg, inject) {
+        Ok(()) => println!("  region-pressure: OK"),
+        Err(e) => {
+            failures += 1;
+            println!("  region-pressure: FAILED\n    {e}");
+        }
+    }
+
+    // Phase 2: seeded fuzzing through every scheme with invariants.
+    println!(
+        "phase 2: {cases} fuzz cases x {} schemes (base seed {seed:#x})",
+        Scheme::ALL.len()
+    );
+    let strat = any::<FuzzPlan>();
+    for case_idx in 0..cases {
+        let case_seed = seed.wrapping_add(case_idx);
+        let plan = FuzzPlan::arbitrary(&mut Rng::seed_from_u64(case_seed));
+        let Err(first_msg) = check_plan(&plan, &cfg, inject) else {
+            continue;
+        };
+        failures += 1;
+        let (min_plan, msg, steps) = greedy_shrink(&strat, plan, first_msg, 512, |p| {
+            check_plan(p, &cfg, inject)
+        });
+        println!(
+            "  case {case_idx} (seed {case_seed:#x}): FAILED\n    {msg}\n    \
+             minimal plan after {steps} shrink steps: {min_plan:?}\n    \
+             reproduce: --bin check -- --cases 1 --seed {case_seed:#x}"
+        );
+    }
+
+    if failures > 0 {
+        println!("check: {failures} failure(s)");
+        std::process::exit(1);
+    }
+    println!(
+        "check: all kernels agree with the oracle; {cases} fuzz cases clean across {} schemes",
+        Scheme::ALL.len()
+    );
+}

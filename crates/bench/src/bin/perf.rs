@@ -35,10 +35,7 @@ const DEFAULT_SCHEMES: [Scheme; 4] = [
 ];
 
 fn arg_value(args: &[String], flag: &str) -> Option<String> {
-    args.iter()
-        .position(|a| a == flag)
-        .and_then(|i| args.get(i + 1))
-        .cloned()
+    grp_bench::obs_export::flag_value(args, flag)
 }
 
 fn scheme_by_label(label: &str) -> Option<Scheme> {

@@ -11,7 +11,9 @@
 
 #![deny(missing_docs)]
 
+pub mod args;
 pub mod experiments;
+pub mod fuzz;
 pub mod json;
 pub mod obs_export;
 pub mod report;

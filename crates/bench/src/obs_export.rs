@@ -28,19 +28,24 @@ pub fn slug(label: &str) -> String {
         .collect()
 }
 
-/// Looks up `--<flag> <value>` in an argv slice.
+/// Looks up `--<flag> <value>` in an argv slice; exits with an error
+/// (status 2) on a duplicated flag, a missing value, or a flag-like
+/// value — a `--check` at the end of argv used to fall through silently
+/// into run mode.
 pub fn flag_value(args: &[String], flag: &str) -> Option<String> {
-    args.iter().position(|a| a == flag).and_then(|i| args.get(i + 1)).cloned()
+    crate::args::strict_value(args, flag, "a value").unwrap_or_else(|e| {
+        eprintln!("error: {e}");
+        std::process::exit(2);
+    })
 }
 
-/// Like [`flag_value`] for integer-valued flags; exits with an error on
-/// an unparsable value (silent fallback would mask a typo).
+/// Like [`flag_value`] for integer-valued flags; additionally exits
+/// with an error on an unparsable value (silent fallback would mask a
+/// typo).
 pub fn flag_u64(args: &[String], flag: &str) -> Option<u64> {
-    flag_value(args, flag).map(|v| {
-        v.parse().unwrap_or_else(|_| {
-            eprintln!("error: {flag} requires an integer, got '{v}'");
-            std::process::exit(2);
-        })
+    crate::args::strict_u64(args, flag, "an integer").unwrap_or_else(|e| {
+        eprintln!("error: {e}");
+        std::process::exit(2);
     })
 }
 

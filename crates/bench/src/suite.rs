@@ -39,16 +39,14 @@ impl SuiteScale {
 }
 
 /// Parses `--scale <s>` from an argv slice: `Small` when the flag is
-/// absent, an error naming the valid scales on a typo or missing value.
+/// absent, an error naming the valid scales on a typo, a missing or
+/// flag-like value, or a duplicated flag.
 pub fn parse_scale_args(args: &[String]) -> Result<SuiteScale, String> {
-    let Some(i) = args.iter().position(|a| a == "--scale") else {
-        return Ok(SuiteScale::default());
-    };
-    let Some(s) = args.get(i + 1) else {
-        return Err("--scale requires a value (valid: test, small, paper)".to_string());
-    };
-    SuiteScale::parse(s)
-        .ok_or_else(|| format!("unknown scale '{s}' (valid: test, small, paper)"))
+    match crate::args::strict_value(args, "--scale", "test, small, paper")? {
+        None => Ok(SuiteScale::default()),
+        Some(s) => SuiteScale::parse(&s)
+            .ok_or_else(|| format!("unknown scale '{s}' (valid: test, small, paper)")),
+    }
 }
 
 /// Parses `--scale <s>` from argv, defaulting to `Small` when the flag
@@ -136,12 +134,30 @@ impl Suite {
     /// a worker so each built workload is reused). Subsequent
     /// [`Suite::run`] calls hit the memo table.
     pub fn precompute(&mut self, names: &[&'static str], schemes: &[Scheme]) {
+        self.precompute_jobs(names, schemes, None);
+    }
+
+    /// [`Suite::precompute`] with an explicit worker count (`--jobs N` /
+    /// `GRP_JOBS`, see [`crate::args::parse_jobs_args`]); `None` uses
+    /// available parallelism. Results are bit-identical regardless of
+    /// the worker count — each `(benchmark, scheme)` simulation is
+    /// independent and internally deterministic.
+    pub fn precompute_jobs(
+        &mut self,
+        names: &[&'static str],
+        schemes: &[Scheme],
+        jobs: Option<usize>,
+    ) {
         let scale = self.scale.workload_scale();
         let cfg = self.cfg;
         let verbose = self.verbose;
-        let threads = std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(4)
+        let threads = jobs
+            .unwrap_or_else(|| {
+                std::thread::available_parallelism()
+                    .map(|n| n.get())
+                    .unwrap_or(4)
+            })
+            .max(1)
             .min(names.len().max(1));
         let work: std::sync::Mutex<Vec<&'static str>> =
             std::sync::Mutex::new(names.to_vec());
@@ -251,6 +267,14 @@ mod tests {
         assert!(err.contains("test, small, paper"), "error lists valid scales: {err}");
         let err = parse_scale_args(&argv(&["all", "--scale"])).unwrap_err();
         assert!(err.contains("requires a value"), "missing value is an error: {err}");
+        // A duplicated flag must not silently pick one occurrence.
+        let err =
+            parse_scale_args(&argv(&["all", "--scale", "test", "--scale", "paper"])).unwrap_err();
+        assert!(err.contains("more than once"), "{err}");
+        // A value that is itself a flag must not be swallowed.
+        let err = parse_scale_args(&argv(&["all", "--scale", "--verbose"])).unwrap_err();
+        assert!(err.contains("--verbose"), "{err}");
+        assert!(err.contains("test, small, paper"), "{err}");
     }
 
     #[test]
@@ -260,8 +284,34 @@ mod tests {
         let ra = a.run("twolf", Scheme::GrpVar);
         let mut b = Suite::new(SuiteScale::Test);
         let rb = b.run("twolf", Scheme::GrpVar);
-        assert_eq!(ra.cycles, rb.cycles);
-        assert_eq!(ra.traffic.total_blocks(), rb.traffic.total_blocks());
+        assert_eq!(ra, rb);
+    }
+
+    #[test]
+    fn parallel_precompute_is_bit_identical_to_serial() {
+        // Every counter of every (benchmark, scheme) result must match
+        // the serial run() loop exactly, for any worker count —
+        // scheduling order must not leak into results.
+        let names = ["twolf", "mcf", "sphinx", "crafty"];
+        let schemes = [Scheme::NoPrefetch, Scheme::Srp, Scheme::GrpVar];
+        let mut serial = Suite::new(SuiteScale::Test);
+        let mut expected = Vec::new();
+        for name in names {
+            for scheme in schemes {
+                expected.push((name, scheme, serial.run(name, scheme)));
+            }
+        }
+        for jobs in [Some(1), Some(3), None] {
+            let mut par = Suite::new(SuiteScale::Test);
+            par.precompute_jobs(&names, &schemes, jobs);
+            for (name, scheme, want) in &expected {
+                let got = par.run(name, *scheme);
+                assert_eq!(
+                    got, *want,
+                    "{name}/{scheme:?} differs between serial and jobs={jobs:?}"
+                );
+            }
+        }
     }
 
     #[test]

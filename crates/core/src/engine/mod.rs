@@ -119,6 +119,16 @@ pub trait Prefetcher: std::fmt::Debug {
     fn queue_occupancy(&self) -> usize {
         0
     }
+
+    /// Checks the engine's internal structures for consistency (queue
+    /// bounds, slab/list/index agreement). Called by the memory system's
+    /// structural-check pass; the default has nothing to check.
+    fn validate(&self) -> Result<(), String> {
+        Ok(())
+    }
+
+    #[doc(hidden)]
+    fn inject_fault_unbounded_queue(&mut self) {}
 }
 
 /// The no-prefetching baseline.

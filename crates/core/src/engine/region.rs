@@ -162,6 +162,11 @@ pub struct RegionPrefetcher {
     /// Buffer queued/squashed lifecycle events for the observer layer.
     trace: bool,
     events: Vec<EngineEvent>,
+    // Test-only fault injection: when set, push_entry skips the
+    // capacity-enforcement drop loop, letting the queue grow without
+    // bound. Exists so the invariant-observer gate can prove it detects
+    // queue-bound bugs; never set in production.
+    fault_unbounded: bool,
 }
 
 impl RegionPrefetcher {
@@ -179,6 +184,7 @@ impl RegionPrefetcher {
             stats: EngineStats::default(),
             trace: false,
             events: Vec::new(),
+            fault_unbounded: false,
         }
     }
 
@@ -190,6 +196,84 @@ impl RegionPrefetcher {
     /// Current queue occupancy (entries).
     pub fn queue_len(&self) -> usize {
         self.len
+    }
+
+    /// Checks slab ↔ intrusive list ↔ region-index coherence and the
+    /// queue capacity bound. Entries with an empty bit vector are legal
+    /// (the demand-clear path can empty an entry in place). Returns the
+    /// first violation as a message.
+    pub fn validate_queue(&self) -> Result<(), String> {
+        let mut seen = vec![false; self.slots.len()];
+        let mut id = self.head;
+        let mut prev = NIL;
+        let mut count = 0usize;
+        while id != NIL {
+            let i = id as usize;
+            if i >= self.slots.len() {
+                return Err(format!("region queue: link to out-of-range slot {id}"));
+            }
+            if seen[i] {
+                return Err(format!("region queue: cycle through slot {id}"));
+            }
+            seen[i] = true;
+            let slot = &self.slots[i];
+            if slot.prev != prev {
+                return Err(format!(
+                    "region queue: slot {id} prev link is {} but should be {}",
+                    slot.prev, prev
+                ));
+            }
+            match self.index.get(&slot.entry.region.0) {
+                Some(&mapped) if mapped == id => {}
+                other => {
+                    return Err(format!(
+                        "region queue: slot {id} (region {:#x}) maps to {other:?} in the index",
+                        slot.entry.region.0
+                    ))
+                }
+            }
+            count += 1;
+            prev = id;
+            id = slot.next;
+        }
+        if prev != self.tail {
+            return Err(format!(
+                "region queue: walk ends at slot {prev} but tail is {}",
+                self.tail
+            ));
+        }
+        if count != self.len {
+            return Err(format!(
+                "region queue: list holds {count} entries but len is {}",
+                self.len
+            ));
+        }
+        if self.index.len() != count {
+            return Err(format!(
+                "region queue: index holds {} keys for {count} live entries",
+                self.index.len()
+            ));
+        }
+        for &f in &self.free {
+            if (f as usize) < seen.len() && seen[f as usize] {
+                return Err(format!("region queue: slot {f} is both free and linked"));
+            }
+        }
+        if self.len + self.free.len() != self.slots.len() {
+            return Err(format!(
+                "region queue: {} slots != {} live + {} free",
+                self.slots.len(),
+                self.len,
+                self.free.len()
+            ));
+        }
+        if self.len > self.cfg.queue_capacity {
+            return Err(format!(
+                "region queue: occupancy {} exceeds capacity {}",
+                self.len, self.cfg.queue_capacity
+            ));
+        }
+        Ok(())
     }
 
     fn alloc_slot(&mut self, entry: RegionEntry) -> u32 {
@@ -262,7 +346,7 @@ impl RegionPrefetcher {
             self.attach_head(id);
         }
         self.index.insert(key, id);
-        while self.len > self.cfg.queue_capacity {
+        while !self.fault_unbounded && self.len > self.cfg.queue_capacity {
             // Old entries fall off the bottom (§3.1).
             let victim = if self.cfg.fifo { self.head } else { self.tail };
             let dropped = self.remove_slot(victim);
@@ -631,6 +715,14 @@ impl Prefetcher for RegionPrefetcher {
 
     fn queue_occupancy(&self) -> usize {
         self.len
+    }
+
+    fn validate(&self) -> Result<(), String> {
+        self.validate_queue()
+    }
+
+    fn inject_fault_unbounded_queue(&mut self) {
+        self.fault_unbounded = true;
     }
 }
 

@@ -44,17 +44,21 @@
 
 pub mod config;
 pub mod engine;
+pub mod invariants;
 pub mod memsys;
 pub mod obs;
+pub mod oracle;
 pub mod result;
 pub mod sim;
 
 pub use config::{IdealMode, Scheme, SimConfig};
+pub use invariants::InvariantObserver;
 pub use memsys::{MemSystem, MissAttribution};
 pub use obs::{
     EpochSampler, EpochSnapshot, LatencyHist, LifecycleTracer, NullObserver, Observer,
     ObserverPair, PrefetchOutcome, PrefetchRecord, SquashReason,
 };
+pub use oracle::{differential_check, AccessClass, DiffReport, OracleFault, OracleSystem};
 pub use result::{geomean, RunResult};
 pub use sim::{
     engine_for, run_trace, run_trace_observed, run_trace_with_engine,

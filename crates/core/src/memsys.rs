@@ -26,7 +26,7 @@ use crate::engine::Prefetcher;
 use crate::obs::{EngineEventKind, EpochSnapshot, NullObserver, Observer};
 
 /// Per-reference L2 demand-miss attribution (Table 6's miss-cause data).
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct MissAttribution {
     counts: Vec<u64>,
 }
@@ -233,6 +233,19 @@ impl<'m, O: Observer> MemSystem<'m, O> {
         self.prefetches_issued
     }
 
+    /// L1 MSHR file.
+    pub fn l1_mshrs(&self) -> &MshrFile {
+        &self.l1_mshrs
+    }
+
+    #[doc(hidden)]
+    pub fn inject_fault_evict_mru(&mut self) {
+        // Flips both caches to evict the MRU way — the deliberately
+        // injected replacement-policy bug the oracle gate must detect.
+        self.l1.set_fault_evict_mru(true);
+        self.l2.set_fault_evict_mru(true);
+    }
+
     /// Forwards engine-buffered lifecycle events (queued/squashed) to the
     /// observer, stamped with `now`. Called after every engine call so
     /// event order tracks simulation order.
@@ -264,6 +277,81 @@ impl<'m, O: Observer> MemSystem<'m, O> {
             if events > 0 && events.is_multiple_of(interval) {
                 self.emit_epoch(core_cycle.max(self.cursor));
             }
+        }
+        if self.obs.wants_structural_checks() {
+            // Structural walks piggyback on the epoch cadence (or a
+            // default one when the observer samples no epochs).
+            let interval = self.obs.epoch_interval().unwrap_or(4096);
+            if events > 0 && events.is_multiple_of(interval) {
+                self.run_structural_checks(false);
+            }
+        }
+    }
+
+    /// Walks every component's structural invariants plus the
+    /// cross-component stats identities, reporting violations through
+    /// [`Observer::structural_violation`]. `at_end` additionally requires
+    /// all in-flight state to have drained.
+    fn run_structural_checks(&mut self, at_end: bool) {
+        let mut violations: Vec<String> = Vec::new();
+        for (tag, res) in [
+            ("l1", self.l1.check_well_formed()),
+            ("l2", self.l2.check_well_formed()),
+            ("l1-mshr", self.l1_mshrs.check_invariants()),
+            ("l2-mshr", self.l2_mshrs.check_invariants()),
+            ("dram", self.dram.check_invariants()),
+            ("engine", self.engine.validate()),
+        ] {
+            if let Err(e) = res {
+                violations.push(format!("{tag}: {e}"));
+            }
+        }
+        if self.ideal == IdealMode::None {
+            let l1 = *self.l1.stats();
+            let l2 = *self.l2.stats();
+            let dram = *self.dram.stats();
+            // Every L1 miss either merges into an in-flight L1 fetch or
+            // performs exactly one L2 lookup.
+            if l1.demand_misses != self.l1_mshrs.merges() + l2.demand_accesses {
+                violations.push(format!(
+                    "stats: L1 misses {} != L1-MSHR merges {} + L2 accesses {}",
+                    l1.demand_misses,
+                    self.l1_mshrs.merges(),
+                    l2.demand_accesses
+                ));
+            }
+            if self.prefetches_issued != dram.prefetch_blocks {
+                violations.push(format!(
+                    "stats: prefetches issued {} != DRAM prefetch blocks {}",
+                    self.prefetches_issued, dram.prefetch_blocks
+                ));
+            }
+            if dram.demand_blocks > l2.demand_misses {
+                violations.push(format!(
+                    "stats: DRAM demand blocks {} exceed L2 demand misses {}",
+                    dram.demand_blocks, l2.demand_misses
+                ));
+            }
+        }
+        if at_end {
+            if self.l1_mshrs.occupancy() != 0 {
+                violations.push(format!(
+                    "end: {} L1 MSHR entries never completed",
+                    self.l1_mshrs.occupancy()
+                ));
+            }
+            if self.l2_mshrs.occupancy() != 0 {
+                violations.push(format!(
+                    "end: {} L2 MSHR entries never completed",
+                    self.l2_mshrs.occupancy()
+                ));
+            }
+            if !self.fills.is_empty() {
+                violations.push(format!("end: {} fills never applied", self.fills.len()));
+            }
+        }
+        for v in violations {
+            self.obs.structural_violation(&v);
         }
     }
 
@@ -622,6 +710,9 @@ impl<'m, O: Observer> MemSystem<'m, O> {
                 // Close the time-series with a final snapshot so the last
                 // partial epoch is never lost.
                 self.emit_epoch(end);
+            }
+            if self.obs.wants_structural_checks() {
+                self.run_structural_checks(true);
             }
             self.obs.run_end(end);
         }

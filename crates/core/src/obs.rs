@@ -248,6 +248,20 @@ pub trait Observer {
     fn run_end(&mut self, final_cycle: u64) {
         let _ = final_cycle;
     }
+
+    /// When true, the memory system walks its component structures
+    /// (cache sets, MSHR files, DRAM bank state, engine queues) at every
+    /// epoch boundary and at run end, reporting any broken invariant via
+    /// [`Observer::structural_violation`]. Off by default: the walk is
+    /// O(cache size), far too slow for the perf path.
+    fn wants_structural_checks(&self) -> bool {
+        false
+    }
+
+    /// A structural invariant was found violated during a check pass.
+    fn structural_violation(&mut self, msg: &str) {
+        let _ = msg;
+    }
 }
 
 /// The default observer: compiles every hook away (`ENABLED = false`).
@@ -330,6 +344,15 @@ impl<A: Observer, B: Observer> Observer for ObserverPair<A, B> {
     fn run_end(&mut self, final_cycle: u64) {
         self.0.run_end(final_cycle);
         self.1.run_end(final_cycle);
+    }
+
+    fn wants_structural_checks(&self) -> bool {
+        self.0.wants_structural_checks() || self.1.wants_structural_checks()
+    }
+
+    fn structural_violation(&mut self, msg: &str) {
+        self.0.structural_violation(msg);
+        self.1.structural_violation(msg);
     }
 }
 

@@ -6,8 +6,10 @@ use crate::config::Scheme;
 use crate::engine::EngineStats;
 use crate::memsys::MissAttribution;
 
-/// Everything one simulation produces.
-#[derive(Debug, Clone)]
+/// Everything one simulation produces. Every field is an exact integer
+/// counter, so `PartialEq` means bit-identical runs — the property the
+/// parallel-precompute determinism test checks.
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct RunResult {
     /// The scheme simulated.
     pub scheme: Scheme,

@@ -173,6 +173,10 @@ pub struct Cache {
     set_mask: usize,
     tag_shift: u32,
     stats: CacheStats,
+    // Test-only fault injection: when set, fills evict the MRU way
+    // instead of the LRU way. Exists so the differential oracle gate can
+    // prove it detects replacement-policy bugs; never set in production.
+    fault_evict_mru: bool,
 }
 
 impl Cache {
@@ -193,7 +197,13 @@ impl Cache {
             set_mask: sets - 1,
             tag_shift: sets.trailing_zeros(),
             stats: CacheStats::default(),
+            fault_evict_mru: false,
         }
+    }
+
+    #[doc(hidden)]
+    pub fn set_fault_evict_mru(&mut self, on: bool) {
+        self.fault_evict_mru = on;
     }
 
     /// The configured geometry.
@@ -339,7 +349,7 @@ impl Cache {
         let victim_way = lines
             .iter()
             .position(|l| !l.valid)
-            .unwrap_or(ways - 1);
+            .unwrap_or(if self.fault_evict_mru { 0 } else { ways - 1 });
         let victim_line = lines[victim_way];
         let victim = if victim_line.valid {
             if victim_line.prefetched {
@@ -415,6 +425,58 @@ impl Cache {
     /// Number of valid lines.
     pub fn resident_lines(&self) -> usize {
         self.lines.iter().filter(|l| l.valid).count()
+    }
+
+    /// All resident blocks with their dirty bits, sorted by block address.
+    /// The differential oracle compares this against the reference
+    /// cache's final contents.
+    pub fn resident_blocks(&self) -> Vec<(BlockAddr, bool)> {
+        let mut v: Vec<(BlockAddr, bool)> = (0..=self.set_mask)
+            .flat_map(|set| {
+                self.set_slice(set)
+                    .iter()
+                    .filter(|l| l.valid)
+                    .map(move |l| (self.block_from(set, l.tag), l.dirty))
+                    .collect::<Vec<_>>()
+            })
+            .collect();
+        v.sort_by_key(|(b, _)| b.0);
+        v
+    }
+
+    /// Structural well-formedness: no set may hold two valid lines with
+    /// the same tag, and the counter identities that hold by construction
+    /// must still hold. Returns the first violation as a message.
+    pub fn check_well_formed(&self) -> Result<(), String> {
+        for set in 0..=self.set_mask {
+            let lines = self.set_slice(set);
+            for (i, a) in lines.iter().enumerate() {
+                if !a.valid {
+                    continue;
+                }
+                if lines[i + 1..].iter().any(|b| b.valid && b.tag == a.tag) {
+                    return Err(format!(
+                        "cache set {set}: duplicate valid tag {:#x}",
+                        a.tag
+                    ));
+                }
+            }
+        }
+        let s = &self.stats;
+        if s.demand_misses > s.demand_accesses {
+            return Err(format!(
+                "cache stats: misses {} exceed accesses {}",
+                s.demand_misses, s.demand_accesses
+            ));
+        }
+        let classified = s.useful_prefetches + s.useless_prefetches + self.resident_unused_prefetches();
+        if classified > s.prefetch_fills {
+            return Err(format!(
+                "cache stats: classified prefetches {} exceed prefetch fills {}",
+                classified, s.prefetch_fills
+            ));
+        }
+        Ok(())
     }
 }
 

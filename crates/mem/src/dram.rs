@@ -291,6 +291,45 @@ impl Dram {
             .min()
             .unwrap_or(0)
     }
+
+    /// Structural invariants of the channel/bank state and counters:
+    /// the demand-only bus horizon can never run past the all-kinds
+    /// horizon, every access was classified as exactly one of row hit or
+    /// row miss, and an open row implies its bank has been used. Returns
+    /// the first violation as a message.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        for (i, ch) in self.channels.iter().enumerate() {
+            if ch.demand_bus_free_at > ch.bus_free_at {
+                return Err(format!(
+                    "dram channel {i}: demand bus horizon {} past overall horizon {}",
+                    ch.demand_bus_free_at, ch.bus_free_at
+                ));
+            }
+            for (b, bank) in ch.banks.iter().enumerate() {
+                if bank.open_row.is_some() && bank.ready_at == 0 {
+                    return Err(format!(
+                        "dram channel {i} bank {b}: open row with no access ever issued"
+                    ));
+                }
+            }
+        }
+        let s = &self.stats;
+        let total = s.demand_blocks + s.prefetch_blocks + s.writeback_blocks;
+        if s.row_hits + s.row_misses != total {
+            return Err(format!(
+                "dram stats: row hits {} + misses {} != total accesses {}",
+                s.row_hits, s.row_misses, total
+            ));
+        }
+        if self.busy_cycles.len() != self.cfg.channels {
+            return Err(format!(
+                "dram: busy-cycle vector has {} slots for {} channels",
+                self.busy_cycles.len(),
+                self.cfg.channels
+            ));
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]

@@ -42,6 +42,7 @@ pub mod cache;
 pub mod dram;
 pub mod memory;
 pub mod mshr;
+pub mod oracle;
 pub mod stats;
 
 pub use addr::{
@@ -56,4 +57,5 @@ pub use cache::{
 pub use dram::{Dram, DramConfig, DramRequest, DramStats, RequestKind};
 pub use memory::Memory;
 pub use mshr::{MshrEntry, MshrFile, MshrOutcome};
+pub use oracle::{OracleCache, OracleDram, OracleMshr};
 pub use stats::TrafficStats;

@@ -77,6 +77,11 @@ impl MshrFile {
         self.entries.len()
     }
 
+    /// The configured register count.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
     /// True when no more misses can be tracked.
     pub fn is_full(&self) -> bool {
         self.entries.len() >= self.capacity
@@ -192,6 +197,38 @@ impl MshrFile {
     pub fn complete(&mut self, block: BlockAddr) -> Option<MshrEntry> {
         let idx = self.entries.iter().position(|e| e.block == block)?;
         self.entries.remove(idx)
+    }
+
+    /// Structural invariants every reachable file state must satisfy:
+    /// occupancy within capacity, no duplicate blocks, and no entry that
+    /// is simultaneously a demand wait and a prefetch fill. Returns the
+    /// first violation as a message.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        if self.entries.len() > self.capacity {
+            return Err(format!(
+                "mshr: occupancy {} exceeds capacity {}",
+                self.entries.len(),
+                self.capacity
+            ));
+        }
+        if self.peak_occupancy > self.capacity {
+            return Err(format!(
+                "mshr: peak occupancy {} exceeds capacity {}",
+                self.peak_occupancy, self.capacity
+            ));
+        }
+        for (i, e) in self.entries.iter().enumerate() {
+            if self.entries.iter().skip(i + 1).any(|o| o.block == e.block) {
+                return Err(format!("mshr: duplicate entry for block {:#x}", e.block.0));
+            }
+            if e.demand && e.prefetch_fill {
+                return Err(format!(
+                    "mshr: block {:#x} is both a demand wait and a prefetch fill",
+                    e.block.0
+                ));
+            }
+        }
+        Ok(())
     }
 }
 

@@ -425,6 +425,48 @@ pub fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
     }
 }
 
+/// Greedily shrinks a failing input: repeatedly re-runs `strat`'s
+/// shrink candidates, keeping the first that still fails, until no
+/// candidate fails or `max_iters` candidates have been tested. Returns
+/// the minimal failing value, its failure message, and the number of
+/// candidates tested. Usable outside the panic-driven
+/// [`proptest!`](crate::proptest!) runner — e.g. by fuzz harnesses that
+/// want a minimal reproducer without unwinding.
+pub fn greedy_shrink<S, F>(
+    strat: &S,
+    value: S::Value,
+    first_msg: String,
+    max_iters: u32,
+    mut run: F,
+) -> (S::Value, String, u32)
+where
+    S: Strategy + ?Sized,
+    F: FnMut(&S::Value) -> Result<(), String>,
+{
+    let mut current = value;
+    let mut msg = first_msg;
+    let mut tested = 0u32;
+    'shrinking: while tested < max_iters {
+        let mut improved = false;
+        for cand in strat.shrink(&current) {
+            if tested >= max_iters {
+                break 'shrinking;
+            }
+            tested += 1;
+            if let Err(m) = run(&cand) {
+                current = cand;
+                msg = m;
+                improved = true;
+                break;
+            }
+        }
+        if !improved {
+            break;
+        }
+    }
+    (current, msg, tested)
+}
+
 /// Drives one property: `cfg.cases` random cases, then greedy
 /// shrinking on the first failure. Called by the
 /// [`proptest!`](crate::proptest!) macro; not meant for direct use.
@@ -444,27 +486,8 @@ where
         let Err(first_msg) = run(&value) else {
             continue;
         };
-        let mut current = value;
-        let mut msg = first_msg;
-        let mut tested = 0u32;
-        'shrinking: while tested < cfg.max_shrink_iters {
-            let mut improved = false;
-            for cand in strat.shrink(&current) {
-                if tested >= cfg.max_shrink_iters {
-                    break 'shrinking;
-                }
-                tested += 1;
-                if let Err(m) = run(&cand) {
-                    current = cand;
-                    msg = m;
-                    improved = true;
-                    break;
-                }
-            }
-            if !improved {
-                break;
-            }
-        }
+        let (current, msg, tested) =
+            greedy_shrink(strat, value, first_msg, cfg.max_shrink_iters, &mut run);
         panic!(
             "property '{test_name}' failed (case {case} of {cases}, \
              {tested} shrink steps): {msg}\nminimal failing input: {current:#?}",
@@ -476,7 +499,7 @@ where
 /// The names test files import via `use …::proptest::prelude::*;`.
 pub mod prelude {
     pub use super::{
-        any, Any, Arbitrary, BoxedStrategy, Map, ProptestConfig, Strategy, Union,
+        any, greedy_shrink, Any, Arbitrary, BoxedStrategy, Map, ProptestConfig, Strategy, Union,
     };
     pub use crate::rng::Rng as TestRng;
     pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};

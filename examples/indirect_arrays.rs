@@ -3,7 +3,7 @@
 //! hint-blind region prefetching with GRP's indirect engine.
 //!
 //! ```text
-//! cargo run --release --example indirect_arrays [--clustered]
+//! cargo run --release --example indirect_arrays [--clustered] [--scale test|small|paper]
 //! ```
 //!
 //! By default the index array is a random permutation (the bzip2 case:
@@ -16,11 +16,16 @@ use grp::ir::build::*;
 use grp::ir::interp::Interpreter;
 use grp::ir::{ElemTy, ProgramBuilder};
 use grp::mem::{Addr, HeapAllocator, Memory};
+use grp_bench::suite::{scale_from_args, SuiteScale};
 use grp_testkit::Rng;
 
 fn main() {
     let clustered = std::env::args().any(|a| a == "--clustered");
-    let n = 120_000i64;
+    let n: i64 = match scale_from_args() {
+        SuiteScale::Test => 6_000,
+        SuiteScale::Small => 120_000,
+        SuiteScale::Paper => 360_000,
+    };
 
     let mut pb = ProgramBuilder::new("indirect");
     let a = pb.array("a", ElemTy::F64, &[(2 * n) as u64]);

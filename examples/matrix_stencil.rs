@@ -3,18 +3,18 @@
 //! gets marked and what that costs.
 //!
 //! ```text
-//! cargo run --release --example matrix_stencil
+//! cargo run --release --example matrix_stencil [--scale test|small|paper]
 //! ```
 
 use grp::compiler::{analyze, census, AnalysisConfig, SpatialPolicy};
+use grp_bench::suite::{scale_from_args, SuiteScale};
 use grp::core::{run_trace, Scheme, SimConfig};
 use grp::ir::build::*;
 use grp::ir::interp::Interpreter;
 use grp::ir::{ElemTy, ProgramBuilder};
 use grp::mem::{HeapAllocator, Memory};
 
-fn build() -> (grp::ir::Program, grp::ir::Bindings, Memory, grp::mem::HeapRange) {
-    let n = 512i64;
+fn build(n: i64) -> (grp::ir::Program, grp::ir::Bindings, Memory, grp::mem::HeapRange) {
     let mut pb = ProgramBuilder::new("stencil");
     let a = pb.array("a", ElemTy::F64, &[n as u64, n as u64]);
     let b = pb.array("b", ElemTy::F64, &[n as u64, n as u64]);
@@ -58,7 +58,12 @@ fn build() -> (grp::ir::Program, grp::ir::Bindings, Memory, grp::mem::HeapRange)
 }
 
 fn main() {
-    let (program, bind, mem, heap) = build();
+    let n: i64 = match scale_from_args() {
+        SuiteScale::Test => 96,
+        SuiteScale::Small => 512,
+        SuiteScale::Paper => 1024,
+    };
+    let (program, bind, mem, heap) = build(n);
     let cfg = SimConfig::paper();
 
     println!("policy        spatial-marked   cycles     speedup  traffic");

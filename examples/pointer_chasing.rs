@@ -3,10 +3,11 @@
 //! chase the chain ahead of the program.
 //!
 //! ```text
-//! cargo run --release --example pointer_chasing
+//! cargo run --release --example pointer_chasing [--scale test|small|paper]
 //! ```
 
 use grp::compiler::{analyze, census, AnalysisConfig};
+use grp_bench::suite::{scale_from_args, SuiteScale};
 use grp::core::{run_trace, Scheme, SimConfig};
 use grp::ir::build::*;
 use grp::ir::interp::Interpreter;
@@ -15,6 +16,12 @@ use grp::ir::{ElemTy, FieldId, ProgramBuilder};
 use grp::mem::{HeapAllocator, Memory};
 
 fn main() {
+    let scale = scale_from_args();
+    let node_count: u64 = match scale {
+        SuiteScale::Test => 2_000,
+        SuiteScale::Small => 30_000,
+        SuiteScale::Paper => 120_000,
+    };
     // struct node { node *next; i64 payload; } — Figure 6's idiom.
     let mut pb = ProgramBuilder::new("chase");
     let sid = pb.peek_struct_id();
@@ -48,11 +55,11 @@ fn main() {
         cs.mem_refs, cs.pointer, cs.recursive
     );
 
-    // Plant 30k nodes in allocation order, one per pair of blocks.
+    // Plant the nodes in allocation order, one per pair of blocks.
     let mut mem = Memory::new();
     let mut heap = HeapAllocator::new(grp::mem::Addr(0x1000_0000));
     heap.set_pad(112);
-    let nodes: Vec<_> = (0..30_000).map(|_| heap.alloc(16, 8)).collect();
+    let nodes: Vec<_> = (0..node_count).map(|_| heap.alloc(16, 8)).collect();
     for w in nodes.windows(2) {
         mem.write_u64(w[0], w[1].0);
     }

@@ -1,15 +1,34 @@
 //! Quickstart: run one benchmark under every prefetching scheme.
 //!
 //! ```text
-//! cargo run --release --example quickstart [bench]
+//! cargo run --release --example quickstart [bench] [--scale test|small|paper]
 //! ```
 
 use grp::core::{Scheme, SimConfig};
-use grp::workloads::{all, by_name, Scale};
+use grp::workloads::{all, by_name};
+use grp_bench::suite::scale_from_args;
 
 fn main() {
+    let scale = scale_from_args();
     let args: Vec<String> = std::env::args().collect();
-    let name = args.get(1).map(String::as_str).unwrap_or("equake");
+    // First positional argument, skipping `--scale` and its value.
+    let mut positional = None;
+    let mut skip = false;
+    for a in &args[1..] {
+        if skip {
+            skip = false;
+            continue;
+        }
+        if a == "--scale" {
+            skip = true;
+            continue;
+        }
+        if !a.starts_with("--") {
+            positional = Some(a.as_str());
+            break;
+        }
+    }
+    let name = positional.unwrap_or("equake");
     let Some(wl) = by_name(name) else {
         eprintln!("unknown benchmark `{name}`; known:");
         for w in all() {
@@ -18,8 +37,8 @@ fn main() {
         std::process::exit(1);
     };
 
-    println!("benchmark: {} — {}", wl.name, wl.description);
-    let built = wl.build(Scale::Small);
+    println!("benchmark: {} — {} ({scale:?} scale)", wl.name, wl.description);
+    let built = wl.build(scale.workload_scale());
     let cfg = SimConfig::paper();
 
     let base = built.run(Scheme::NoPrefetch, &cfg);

@@ -25,6 +25,12 @@ cargo build --benches --offline
 echo "== tier-1: test suite (offline) =="
 cargo test -q --offline
 
+echo "== examples run at test scale (offline) =="
+for ex in quickstart pointer_chasing indirect_arrays matrix_stencil traffic_study; do
+    echo "  -- $ex"
+    cargo run --release -q --offline --example "$ex" -- --scale test > /dev/null
+done
+
 echo "== bench smoke: full suite at test scale (offline) =="
 cargo run --release -q --offline -p grp-bench --bin all -- --scale test > /dev/null
 
@@ -49,6 +55,24 @@ cargo run --release -q --offline -p grp-bench --bin trace -- \
     gzip --scale test --trace-out "$TRACE_TMP/gzip" > /dev/null
 cargo run --release -q --offline -p grp-bench --bin trace -- \
     --check "$TRACE_TMP/gzip"
+
+echo "== correctness gate: oracle differential + seeded fuzzing (offline) =="
+# Fixed seed and a reduced case count keep the smoke fast and fully
+# deterministic; the full 64-case default runs the same binary.
+cargo run --release -q --offline -p grp-bench --bin check -- \
+    --scale test --cases 8 --seed 0x5eedc4ec00000000 > /dev/null
+
+echo "== correctness gate has teeth: injected bugs must be caught =="
+# Each injection plants a deliberate bug (bad replacement victim /
+# unbounded engine queue); the gate must exit nonzero on both.
+for inject in mru-evict unbounded-queue; do
+    if cargo run --release -q --offline -p grp-bench --bin check -- \
+        --scale test --cases 2 --inject "$inject" > /dev/null 2>&1; then
+        echo "ERROR: check --inject $inject passed but must fail" >&2
+        exit 1
+    fi
+    echo "  -- $inject: caught"
+done
 
 echo "== perf trajectory: committed BENCH_perf.json parses =="
 if [ ! -f BENCH_perf.json ]; then
