@@ -43,6 +43,16 @@ pub fn strict_value(args: &[String], flag: &str, valid: &str) -> Result<Option<S
     Ok(found)
 }
 
+/// Looks up a bare presence flag (no value, e.g. `--faults`). Errors
+/// on a duplicated flag so printed reproducer lines stay canonical.
+pub fn strict_flag(args: &[String], flag: &str) -> Result<bool, String> {
+    match args.iter().filter(|a| *a == flag).count() {
+        0 => Ok(false),
+        1 => Ok(true),
+        _ => Err(format!("{flag} given more than once")),
+    }
+}
+
 /// [`strict_value`] for integer flags; additionally errors when the
 /// value does not parse as a `u64`. Accepts a `0x` prefix so printed
 /// reproducer lines (`--seed 0x5eed…`) paste back verbatim.
@@ -160,6 +170,14 @@ mod tests {
         let err = strict_u64(&args, "--epoch", "an event count").unwrap_err();
         assert!(err.contains("lots"), "{err}");
         assert!(err.contains("an event count"), "{err}");
+    }
+
+    #[test]
+    fn presence_flag_validation() {
+        assert_eq!(strict_flag(&argv(&["run"]), "--faults"), Ok(false));
+        assert_eq!(strict_flag(&argv(&["run", "--faults"]), "--faults"), Ok(true));
+        let err = strict_flag(&argv(&["run", "--faults", "--faults"]), "--faults").unwrap_err();
+        assert!(err.contains("more than once"), "{err}");
     }
 
     #[test]

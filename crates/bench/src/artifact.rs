@@ -1,0 +1,83 @@
+//! Crash-safe artifact output shared by the bench binaries.
+//!
+//! Every file the harness emits (perf trajectories, lifecycle traces,
+//! metrics, `--json` dumps) goes through [`atomic_write`]: the bytes
+//! land in a `<path>.tmp` sibling first and are renamed into place.
+//! A process killed mid-write can therefore never leave a truncated
+//! artifact at the final path — readers (and the binaries' `--check`
+//! modes) see either the previous complete file or the new complete
+//! file, with at worst an orphaned `.tmp` left to overwrite next run.
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Writes `contents` to `path` via write-temp-then-rename, creating
+/// parent directories as needed.
+///
+/// # Errors
+///
+/// Any I/O error from directory creation, the temp write, or the
+/// rename; on error the final path is untouched.
+pub fn atomic_write(path: impl AsRef<Path>, contents: impl AsRef<[u8]>) -> io::Result<()> {
+    let path = path.as_ref();
+    if let Some(dir) = path.parent() {
+        if !dir.as_os_str().is_empty() {
+            fs::create_dir_all(dir)?;
+        }
+    }
+    let tmp = tmp_path(path);
+    fs::write(&tmp, contents)?;
+    fs::rename(&tmp, path)
+}
+
+/// The temp sibling `atomic_write` stages into: `<path>.tmp`.
+pub fn tmp_path(path: &Path) -> PathBuf {
+    let mut tmp = path.as_os_str().to_owned();
+    tmp.push(".tmp");
+    PathBuf::from(tmp)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scratch(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("grp-artifact-{}-{name}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn writes_land_complete_and_leave_no_temp() {
+        let dir = scratch("basic");
+        let path = dir.join("nested/out.json");
+        atomic_write(&path, "{\"v\":1}").expect("atomic write");
+        assert_eq!(fs::read_to_string(&path).unwrap(), "{\"v\":1}");
+        assert!(!tmp_path(&path).exists(), "temp file renamed away");
+        // Overwrite keeps the same guarantees.
+        atomic_write(&path, "{\"v\":2}").expect("overwrite");
+        assert_eq!(fs::read_to_string(&path).unwrap(), "{\"v\":2}");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn interrupted_write_leaves_previous_file_intact() {
+        // Simulate a kill between the temp write and the rename: the
+        // temp file exists, the final path still holds the old bytes.
+        let dir = scratch("interrupted");
+        let path = dir.join("out.json");
+        atomic_write(&path, "old-complete").expect("first write");
+        fs::write(tmp_path(&path), "new-but-trunc").expect("stage temp");
+        assert_eq!(
+            fs::read_to_string(&path).unwrap(),
+            "old-complete",
+            "final path never observes the staged temp"
+        );
+        // The next atomic_write simply overwrites the orphan.
+        atomic_write(&path, "new-complete").expect("recover");
+        assert_eq!(fs::read_to_string(&path).unwrap(), "new-complete");
+        assert!(!tmp_path(&path).exists());
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

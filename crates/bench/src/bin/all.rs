@@ -76,7 +76,7 @@ fn main() {
         let doc = Json::object()
             .set("scale", format!("{scale:?}"))
             .set("benchmarks", Json::Array(benches));
-        std::fs::write(path, doc.render()).expect("write --json output");
+        grp_bench::artifact::atomic_write(path, doc.render()).expect("write --json output");
         eprintln!("wrote {path}");
     }
 
@@ -93,12 +93,7 @@ fn main() {
             let (_, ObserverPair(t, sampler)) = built.run_observed(Scheme::GrpVar, &cfg, obs);
             let epochs = sampler.snapshots();
             let write = |path: String, body: String| {
-                if let Some(dir) = std::path::Path::new(&path).parent() {
-                    if !dir.as_os_str().is_empty() {
-                        std::fs::create_dir_all(dir).expect("create output directory");
-                    }
-                }
-                std::fs::write(&path, body).expect("write observability output");
+                grp_bench::artifact::atomic_write(&path, body).expect("write observability output");
                 eprintln!("wrote {path}");
             };
             if let Some(prefix) = &trace_out {

@@ -1,6 +1,6 @@
 //! Correctness gate: differential oracle + seeded invariant fuzzing.
 //!
-//! Two phases, both offline and fully deterministic:
+//! Phases, all offline and fully deterministic:
 //!
 //! 1. **Kernel differential** — replays every registry benchmark at the
 //!    chosen scale under no-prefetch through both the optimized
@@ -18,27 +18,49 @@
 //!    [`InvariantObserver`] attached (lifecycle conservation, occupancy
 //!    bounds, structural walks). A failing case is greedily shrunk to a
 //!    minimal plan before reporting.
+//! 3. **Fault-plan sweep** (`--faults`) — every built-in
+//!    [`FaultPlan`] (channel stalls, outages, delayed/dropped fills,
+//!    MSHR squeeze, queue pressure) armed on a fixed prefetch-heavy
+//!    workout case: the faulted run must pass the no-prefetch oracle
+//!    differential with the same plan armed on both systems, keep every
+//!    invariant (lifecycle conservation gains dropped/delayed legs —
+//!    never waived under faults), never panic, and an empty plan must
+//!    be bit-identical to the unfaulted run.
+//! 4. **Faulted fuzzing** (`--faults`) — phase 2's fuzzing over
+//!    `(access plan, fault plan)` *pairs*; a failing pair shrinks as a
+//!    pair, with the empty fault plan offered first so a bug that
+//!    doesn't need the fault sheds it immediately.
+//!
+//! Every simulated run is also checked against a cycle-budget watchdog
+//! (`--max-cycles`, 0 disables): a run that blows the budget is treated
+//! exactly like an invariant failure, including shrinking.
 //!
 //! ```text
 //! cargo run --release -p grp-bench --bin check -- \
-//!     [--cases N] [--seed S] [--scale test|small|paper] \
-//!     [--inject none|mru-evict|unbounded-queue]
+//!     [--cases N] [--seed S] [--scale test|small|paper] [--faults] \
+//!     [--max-cycles N] [--inject none|mru-evict|unbounded-queue|drop-leak]
 //! ```
 //!
-//! `--inject` plants a deliberate bug (an evict-MRU replacement fault
-//! or an unbounded engine queue) so CI can assert the gate still has
-//! teeth: an injected run must exit nonzero.
+//! `--inject` plants a deliberate bug (an evict-MRU replacement fault,
+//! an unbounded engine queue, or a dropped-fill MSHR leak) so CI can
+//! assert the gate still has teeth: an injected run must exit nonzero.
 
-use grp_bench::args::{strict_u64, strict_value};
-use grp_bench::fuzz::{materialize, FuzzPlan};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+use grp_bench::args::{strict_flag, strict_u64, strict_value};
+use grp_bench::fuzz::{materialize, FuzzPlan, Segment};
 use grp_bench::suite::parse_scale_args;
 use grp_core::{
-    differential_check, engine_for, run_trace_with_engine_observed, InvariantObserver,
-    OracleFault, Scheme, SimConfig,
+    differential_check, differential_check_faulted, engine_for, replay_injected, run_trace,
+    run_trace_faulted, FaultPlan, InvariantObserver, OracleFault, Scheme, SimConfig,
 };
 use grp_testkit::proptest::{any, greedy_shrink};
 use grp_testkit::proptest::Arbitrary;
 use grp_testkit::Rng;
+
+/// Default cycle-budget watchdog: far above any legal test-scale run,
+/// low enough to catch a hung or runaway simulation in CI.
+const DEFAULT_MAX_CYCLES: u64 = 500_000_000;
 
 /// Which deliberate bug to plant (`--inject`).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -50,6 +72,11 @@ enum Inject {
     /// The region engine stops bounding its queue — caught by the
     /// invariant observer's occupancy checks.
     UnboundedQueue,
+    /// Dropped prefetch fills leak their L2 MSHR entry instead of
+    /// releasing it — caught by lifecycle conservation (the dropped leg
+    /// never closes). Only reachable under a fault plan that drops
+    /// fills, so this injection implies `--faults`.
+    DropLeak,
 }
 
 impl Inject {
@@ -58,6 +85,7 @@ impl Inject {
             "none" => Some(Inject::None),
             "mru-evict" => Some(Inject::MruEvict),
             "unbounded-queue" => Some(Inject::UnboundedQueue),
+            "drop-leak" => Some(Inject::DropLeak),
             _ => None,
         }
     }
@@ -69,43 +97,157 @@ impl Inject {
             OracleFault::None
         }
     }
+
+    /// What a reproducer line must append so the failure actually
+    /// reproduces (empty for no injection).
+    fn repro_suffix(self) -> &'static str {
+        match self {
+            Inject::None => "",
+            Inject::MruEvict => " --inject mru-evict",
+            Inject::UnboundedQueue => " --inject unbounded-queue",
+            Inject::DropLeak => " --inject drop-leak",
+        }
+    }
 }
 
-/// Runs one materialized case through the differential oracle and
-/// every scheme with invariants attached. First failure wins.
-fn check_case(case: &grp_bench::fuzz::FuzzCase, cfg: &SimConfig, inject: Inject) -> Result<(), String> {
-    differential_check(&case.trace, &case.mem, case.heap, cfg, inject.oracle_fault())
-        .map_err(|e| format!("oracle differential (no-prefetch): {e}"))?;
-    for scheme in Scheme::ALL {
-        let mut engine = engine_for(scheme, cfg);
-        if inject == Inject::UnboundedQueue {
-            engine.inject_fault_unbounded_queue();
+/// The graceful-degradation contract says "never panics"; this turns a
+/// panic anywhere inside a check into an ordinary failure message so
+/// the shrinker can minimize the offending case like any other.
+fn no_panic(f: impl FnOnce() -> Result<(), String>) -> Result<(), String> {
+    match catch_unwind(AssertUnwindSafe(f)) {
+        Ok(r) => r,
+        Err(payload) => {
+            let msg = payload
+                .downcast_ref::<&str>()
+                .map(|s| s.to_string())
+                .or_else(|| payload.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "<non-string panic payload>".into());
+            Err(format!("panicked: {msg}"))
         }
-        let obs = InvariantObserver::new(cfg).with_interval(256);
-        let (_, obs) = run_trace_with_engine_observed(
-            &case.trace,
-            &case.mem,
-            case.heap,
-            scheme,
-            cfg,
-            engine,
-            obs,
-        );
-        if !obs.ok() {
-            return Err(format!(
-                "invariants under {scheme:?} ({} violations): {}",
-                obs.total_violations(),
-                obs.violations().join("; ")
-            ));
-        }
+    }
+}
+
+/// Cycle-budget watchdog (0 = disabled).
+fn within_budget(cycles: u64, max_cycles: u64, what: &str) -> Result<(), String> {
+    if max_cycles != 0 && cycles > max_cycles {
+        return Err(format!(
+            "cycle budget exceeded in {what}: {cycles} > {max_cycles} (--max-cycles)"
+        ));
     }
     Ok(())
 }
 
+/// Runs one materialized case through the differential oracle and
+/// every scheme with invariants attached. First failure wins.
+fn check_case(
+    case: &grp_bench::fuzz::FuzzCase,
+    cfg: &SimConfig,
+    inject: Inject,
+    max_cycles: u64,
+) -> Result<(), String> {
+    check_faulted_case(case, None, cfg, inject, max_cycles)
+}
+
+/// [`check_case`] with a [`FaultPlan`] armed on every run, including
+/// both sides of the oracle differential. `None` is the unfaulted gate.
+fn check_faulted_case(
+    case: &grp_bench::fuzz::FuzzCase,
+    plan: Option<&FaultPlan>,
+    cfg: &SimConfig,
+    inject: Inject,
+    max_cycles: u64,
+) -> Result<(), String> {
+    no_panic(|| {
+        let rep = differential_check_faulted(
+            &case.trace,
+            &case.mem,
+            case.heap,
+            cfg,
+            inject.oracle_fault(),
+            plan,
+        )
+        .map_err(|e| format!("oracle differential (no-prefetch): {e}"))?;
+        within_budget(rep.cycles, max_cycles, "oracle differential")?;
+        for scheme in Scheme::ALL {
+            let mut engine = engine_for(scheme, cfg);
+            if inject == Inject::UnboundedQueue {
+                engine.inject_fault_unbounded_queue();
+            }
+            let obs = InvariantObserver::new(cfg).with_interval(256);
+            let (result, obs) = replay_injected(
+                &case.trace,
+                &case.mem,
+                case.heap,
+                scheme,
+                cfg,
+                engine,
+                obs,
+                plan,
+                inject == Inject::DropLeak,
+            );
+            if !obs.ok() {
+                return Err(format!(
+                    "invariants under {scheme:?} ({} violations): {}",
+                    obs.total_violations(),
+                    obs.violations().join("; ")
+                ));
+            }
+            within_budget(result.cycles, max_cycles, &format!("{scheme:?} replay"))?;
+        }
+        Ok(())
+    })
+}
+
 /// [`check_case`] on a freshly materialized plan — the shape the
 /// shrinker minimizes over.
-fn check_plan(plan: &FuzzPlan, cfg: &SimConfig, inject: Inject) -> Result<(), String> {
-    check_case(&materialize(plan), cfg, inject)
+fn check_plan(
+    plan: &FuzzPlan,
+    cfg: &SimConfig,
+    inject: Inject,
+    max_cycles: u64,
+) -> Result<(), String> {
+    check_case(&materialize(plan), cfg, inject, max_cycles)
+}
+
+/// Phase 4's shrink target: an access plan and a fault plan, checked
+/// together.
+fn check_pair(
+    pair: &(FuzzPlan, FaultPlan),
+    cfg: &SimConfig,
+    inject: Inject,
+    max_cycles: u64,
+) -> Result<(), String> {
+    check_faulted_case(&materialize(&pair.0), Some(&pair.1), cfg, inject, max_cycles)
+}
+
+/// A fixed prefetch-heavy case for the built-in fault sweep: hinted
+/// dense streams keep the region engines issuing (so delayed/dropped
+/// fills and queue pressure actually bite), the pointer chain exercises
+/// dependent-load merges into faulted fills.
+fn fault_workout_case() -> grp_bench::fuzz::FuzzCase {
+    materialize(&FuzzPlan {
+        segments: vec![
+            Segment::Spatial {
+                count: 300,
+                stride_words: 1,
+                hinted: true,
+                loop_bound: false,
+            },
+            Segment::Pointer {
+                nodes: 120,
+                node_stride_blocks: 1,
+                hinted: true,
+            },
+            Segment::Spatial {
+                count: 300,
+                stride_words: 2,
+                hinted: true,
+                loop_bound: true,
+            },
+        ],
+        compute_gap: 2,
+        layout_seed: 0x5eed_fa17,
+    })
 }
 
 fn main() {
@@ -121,16 +263,28 @@ fn main() {
     let seed = strict_u64(&args, "--seed", "a 64-bit seed")
         .unwrap_or_else(|e| usage_err(e))
         .unwrap_or(0x5eed_c4ec_0000_0000);
-    let inject = match strict_value(&args, "--inject", "none, mru-evict, unbounded-queue")
+    let max_cycles = strict_u64(&args, "--max-cycles", "a cycle budget, 0 to disable")
         .unwrap_or_else(|e| usage_err(e))
+        .unwrap_or(DEFAULT_MAX_CYCLES);
+    let mut faults = strict_flag(&args, "--faults").unwrap_or_else(|e| usage_err(e));
+    let inject = match strict_value(
+        &args,
+        "--inject",
+        "none, mru-evict, unbounded-queue, drop-leak",
+    )
+    .unwrap_or_else(|e| usage_err(e))
     {
         None => Inject::None,
         Some(s) => Inject::parse(&s).unwrap_or_else(|| {
             usage_err(format!(
-                "unknown injection '{s}' (valid: none, mru-evict, unbounded-queue)"
+                "unknown injection '{s}' (valid: none, mru-evict, unbounded-queue, drop-leak)"
             ))
         }),
     };
+    if inject == Inject::DropLeak && !faults {
+        println!("note: --inject drop-leak only fires under a fault plan; enabling --faults");
+        faults = true;
+    }
 
     let cfg = SimConfig::paper();
     let mut failures = 0u64;
@@ -159,7 +313,7 @@ fn main() {
     // Phase 1b: a fixed region-pressure case no random plan reaches —
     // thousands of single-miss regions saturating the engine queue.
     // This is what makes the unbounded-queue injection deterministic.
-    match check_case(&grp_bench::fuzz::region_pressure_case(), &cfg, inject) {
+    match check_case(&grp_bench::fuzz::region_pressure_case(), &cfg, inject, max_cycles) {
         Ok(()) => println!("  region-pressure: OK"),
         Err(e) => {
             failures += 1;
@@ -176,26 +330,101 @@ fn main() {
     for case_idx in 0..cases {
         let case_seed = seed.wrapping_add(case_idx);
         let plan = FuzzPlan::arbitrary(&mut Rng::seed_from_u64(case_seed));
-        let Err(first_msg) = check_plan(&plan, &cfg, inject) else {
+        let Err(first_msg) = check_plan(&plan, &cfg, inject, max_cycles) else {
             continue;
         };
         failures += 1;
         let (min_plan, msg, steps) = greedy_shrink(&strat, plan, first_msg, 512, |p| {
-            check_plan(p, &cfg, inject)
+            check_plan(p, &cfg, inject, max_cycles)
         });
         println!(
             "  case {case_idx} (seed {case_seed:#x}): FAILED\n    {msg}\n    \
              minimal plan after {steps} shrink steps: {min_plan:?}\n    \
-             reproduce: --bin check -- --cases 1 --seed {case_seed:#x}"
+             reproduce: --bin check -- --cases 1 --seed {case_seed:#x} \
+             --max-cycles {max_cycles}{}",
+            inject.repro_suffix()
         );
+    }
+
+    if faults {
+        // Phase 3: every built-in fault plan on the fixed workout case.
+        // The zero-fault identity runs first: an empty plan must be
+        // byte-for-byte the unfaulted simulation.
+        let builtins = FaultPlan::builtin();
+        println!(
+            "phase 3: fault sweep — zero-fault identity + {} built-in plans x {} schemes",
+            builtins.len(),
+            Scheme::ALL.len()
+        );
+        let workout = fault_workout_case();
+        for scheme in [Scheme::NoPrefetch, Scheme::Srp, Scheme::GrpVar, Scheme::Stride] {
+            let plain = run_trace(&workout.trace, &workout.mem, workout.heap, scheme, &cfg);
+            let idle = run_trace_faulted(
+                &workout.trace,
+                &workout.mem,
+                workout.heap,
+                scheme,
+                &cfg,
+                &FaultPlan::none(),
+            );
+            if plain != idle {
+                failures += 1;
+                println!("  zero-fault identity under {scheme:?}: FAILED (results differ)");
+            }
+        }
+        println!("  zero-fault identity: checked");
+        for (name, plan) in &builtins {
+            match check_faulted_case(&workout, Some(plan), &cfg, inject, max_cycles) {
+                Ok(()) => println!("  builtin '{name}': OK"),
+                Err(e) => {
+                    failures += 1;
+                    println!("  builtin '{name}': FAILED\n    {e}");
+                }
+            }
+        }
+
+        // Phase 4: faulted fuzzing over (access plan, fault plan) pairs.
+        println!(
+            "phase 4: {cases} faulted fuzz pairs x {} schemes (base seed {seed:#x})",
+            Scheme::ALL.len()
+        );
+        let pair_strat = (any::<FuzzPlan>(), any::<FaultPlan>());
+        for case_idx in 0..cases {
+            let case_seed = seed.wrapping_add(case_idx);
+            let mut rng = Rng::seed_from_u64(case_seed);
+            let plan = FuzzPlan::arbitrary(&mut rng);
+            let fault_plan = FaultPlan::arbitrary(&mut rng);
+            let pair = (plan, fault_plan);
+            let Err(first_msg) = check_pair(&pair, &cfg, inject, max_cycles) else {
+                continue;
+            };
+            failures += 1;
+            let (min_pair, msg, steps) = greedy_shrink(&pair_strat, pair, first_msg, 512, |p| {
+                check_pair(p, &cfg, inject, max_cycles)
+            });
+            println!(
+                "  pair {case_idx} (seed {case_seed:#x}): FAILED\n    {msg}\n    \
+                 minimal pair after {steps} shrink steps:\n    plan:  {:?}\n    \
+                 faults: {:?}\n    \
+                 reproduce: --bin check -- --faults --cases 1 --seed {case_seed:#x} \
+                 --max-cycles {max_cycles}{}",
+                min_pair.0, min_pair.1,
+                inject.repro_suffix()
+            );
+        }
     }
 
     if failures > 0 {
         println!("check: {failures} failure(s)");
         std::process::exit(1);
     }
+    let mode = if faults {
+        " (+ fault sweep and faulted pairs)"
+    } else {
+        ""
+    };
     println!(
-        "check: all kernels agree with the oracle; {cases} fuzz cases clean across {} schemes",
+        "check: all kernels agree with the oracle; {cases} fuzz cases clean across {} schemes{mode}",
         Scheme::ALL.len()
     );
 }

@@ -210,7 +210,9 @@ fn main() {
     };
     entries.push(entry);
     let doc = Json::object().set("version", 1u64).set("entries", Json::Array(entries));
-    std::fs::write(&out, doc.render()).unwrap_or_else(|e| {
+    // Atomic append: stage + rename, so a kill mid-write can't truncate
+    // the recorded trajectory.
+    grp_bench::artifact::atomic_write(&out, doc.render()).unwrap_or_else(|e| {
         eprintln!("error: cannot write {out}: {e}");
         std::process::exit(1);
     });

@@ -61,7 +61,8 @@ fn verify_against(tracer: &LifecycleTracer, r: &RunResult, base: &RunResult) -> 
         + tracer.late()
         + tracer.evicted_unused()
         + tracer.resident_at_end()
-        + tracer.in_flight_at_end();
+        + tracer.in_flight_at_end()
+        + tracer.dropped();
     if tracer.issued() != conserved {
         f.push(format!(
             "conservation: issued {} != accounted {conserved}",
@@ -104,6 +105,7 @@ fn check_artifacts(prefix: &str) {
         if matches!(
             outcome,
             "first_use" | "late" | "evicted_unused" | "resident_at_end" | "in_flight_at_end"
+                | "dropped"
         ) {
             accounted += 1;
         }
@@ -178,17 +180,17 @@ fn main() {
         std::process::exit(1);
     }
 
-    if let Some(dir) = std::path::Path::new(&prefix).parent() {
-        if !dir.as_os_str().is_empty() {
-            std::fs::create_dir_all(dir).unwrap_or_else(|e| fail(&format!("mkdir {}: {e}", dir.display())));
-        }
-    }
+    // Atomic writes (stage + rename): a kill mid-export can't leave a
+    // truncated artifact for --check to trip over.
     let epochs = sampler.snapshots();
-    std::fs::write(format!("{prefix}.jsonl"), tracer.jsonl())
+    grp_bench::artifact::atomic_write(format!("{prefix}.jsonl"), tracer.jsonl())
         .unwrap_or_else(|e| fail(&format!("write {prefix}.jsonl: {e}")));
-    std::fs::write(format!("{prefix}.trace.json"), chrome_trace(&tracer, epochs).render())
-        .unwrap_or_else(|e| fail(&format!("write {prefix}.trace.json: {e}")));
-    std::fs::write(&metrics_path, metrics_json(&tracer, epochs, Some(epoch)).render())
+    grp_bench::artifact::atomic_write(
+        format!("{prefix}.trace.json"),
+        chrome_trace(&tracer, epochs).render(),
+    )
+    .unwrap_or_else(|e| fail(&format!("write {prefix}.trace.json: {e}")));
+    grp_bench::artifact::atomic_write(&metrics_path, metrics_json(&tracer, epochs, Some(epoch)).render())
         .unwrap_or_else(|e| fail(&format!("write {metrics_path}: {e}")));
 
     println!(
@@ -199,10 +201,10 @@ fn main() {
         tracer.coverage_vs_misses(base.l2_misses()),
         epochs.len()
     );
-    println!("  outcomes: first_use={} late={} evicted_unused={} resident={} in_flight={} squashed={} queued_at_end={}",
+    println!("  outcomes: first_use={} late={} evicted_unused={} resident={} in_flight={} squashed={} queued_at_end={} dropped={}",
         tracer.first_used(), tracer.late(), tracer.evicted_unused(),
         tracer.resident_at_end(), tracer.in_flight_at_end(), tracer.squashed(),
-        tracer.queued_at_end());
+        tracer.queued_at_end(), tracer.dropped());
     println!("  queue residency: {}", tracer.queue_residency());
     println!("  issue->fill:     {}", tracer.issue_to_fill());
     println!("  fill->first-use: {}", tracer.fill_to_use());

@@ -12,6 +12,7 @@
 #![deny(missing_docs)]
 
 pub mod args;
+pub mod artifact;
 pub mod experiments;
 pub mod fuzz;
 pub mod json;

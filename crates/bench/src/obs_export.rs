@@ -238,6 +238,9 @@ pub fn summary_json(tracer: &LifecycleTracer) -> Json {
         .set("in_flight_at_end", tracer.in_flight_at_end())
         .set("squashed", tracer.squashed())
         .set("queued_at_end", tracer.queued_at_end())
+        .set("dropped", tracer.dropped())
+        .set("delayed", tracer.delayed())
+        .set("faults_seen", tracer.faults_seen())
         .set("demand_misses", tracer.demand_misses())
         .set("accuracy", tracer.accuracy())
         .set("final_cycle", tracer.final_cycle())

@@ -1,6 +1,7 @@
 //! Memoizing suite runner: one simulation per `(benchmark, scheme)`.
 
 use std::collections::HashMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 
 use grp_core::{RunResult, Scheme, SimConfig};
 use grp_workloads::{all, BuiltWorkload, Scale, Workload};
@@ -67,6 +68,7 @@ pub struct Suite {
     built: HashMap<&'static str, BuiltWorkload>,
     results: HashMap<(&'static str, Scheme), RunResult>,
     verbose: bool,
+    panic_kernel: Option<&'static str>,
 }
 
 impl Suite {
@@ -78,7 +80,15 @@ impl Suite {
             built: HashMap::new(),
             results: HashMap::new(),
             verbose: false,
+            panic_kernel: None,
         }
+    }
+
+    /// Test seam: makes the precompute worker panic when it reaches
+    /// `name`, so the panic-isolation path stays covered by a test.
+    #[doc(hidden)]
+    pub fn inject_panic_kernel(&mut self, name: &'static str) {
+        self.panic_kernel = Some(name);
     }
 
     /// Enables progress logging to stderr.
@@ -142,15 +152,40 @@ impl Suite {
     /// available parallelism. Results are bit-identical regardless of
     /// the worker count — each `(benchmark, scheme)` simulation is
     /// independent and internally deterministic.
+    ///
+    /// # Panics
+    ///
+    /// Panics with the summary from [`Suite::precompute_jobs_result`]
+    /// if any kernel's worker panicked (after its retry); every
+    /// surviving kernel's results have already landed in the memo
+    /// table at that point.
     pub fn precompute_jobs(
         &mut self,
         names: &[&'static str],
         schemes: &[Scheme],
         jobs: Option<usize>,
     ) {
+        if let Err(e) = self.precompute_jobs_result(names, schemes, jobs) {
+            panic!("{e}");
+        }
+    }
+
+    /// [`Suite::precompute_jobs`], reporting worker panics instead of
+    /// propagating them. Each kernel's job (build + every scheme) is
+    /// panic-isolated and retried once; a kernel whose job panics twice
+    /// is named, with its panic message, in the returned error while
+    /// every other kernel's results still land in the memo table — one
+    /// poisoned benchmark must not take down a whole suite run.
+    pub fn precompute_jobs_result(
+        &mut self,
+        names: &[&'static str],
+        schemes: &[Scheme],
+        jobs: Option<usize>,
+    ) -> Result<(), String> {
         let scale = self.scale.workload_scale();
         let cfg = self.cfg;
         let verbose = self.verbose;
+        let panic_kernel = self.panic_kernel;
         let threads = jobs
             .unwrap_or_else(|| {
                 std::thread::available_parallelism()
@@ -165,6 +200,8 @@ impl Suite {
             std::sync::Mutex::new(Vec::new());
         let builts: std::sync::Mutex<Vec<(&'static str, BuiltWorkload)>> =
             std::sync::Mutex::new(Vec::new());
+        let failures: std::sync::Mutex<Vec<(&'static str, String)>> =
+            std::sync::Mutex::new(Vec::new());
         std::thread::scope(|s| {
             for _ in 0..threads {
                 s.spawn(|| loop {
@@ -174,15 +211,34 @@ impl Suite {
                     if verbose {
                         eprintln!("  [precompute] {name}…");
                     }
-                    let built = grp_workloads::by_name(name).expect("registered").build(scale);
-                    for scheme in schemes {
-                        let r = built.run(*scheme, &cfg);
-                        results
-                            .lock()
-                            .expect("results")
-                            .push((name, *scheme, r));
+                    // The whole per-kernel job, buffered locally so a
+                    // panic mid-scheme leaves no partial results behind.
+                    let job = || {
+                        if panic_kernel == Some(name) {
+                            panic!("injected precompute panic in {name}");
+                        }
+                        let built =
+                            grp_workloads::by_name(name).expect("registered").build(scale);
+                        let rs: Vec<(&'static str, Scheme, RunResult)> = schemes
+                            .iter()
+                            .map(|&scheme| (name, scheme, built.run(scheme, &cfg)))
+                            .collect();
+                        (built, rs)
+                    };
+                    let outcome = catch_unwind(AssertUnwindSafe(&job))
+                        .or_else(|_| catch_unwind(AssertUnwindSafe(&job)));
+                    match outcome {
+                        Ok((built, rs)) => {
+                            results.lock().expect("results").extend(rs);
+                            builts.lock().expect("builts").push((name, built));
+                        }
+                        Err(payload) => {
+                            failures
+                                .lock()
+                                .expect("failures")
+                                .push((name, panic_message(&*payload)));
+                        }
                     }
-                    builts.lock().expect("builts").push((name, built));
                 });
             }
         });
@@ -194,6 +250,22 @@ impl Suite {
         for (name, scheme, r) in results.into_inner().expect("results") {
             self.results.insert((name, scheme), r);
         }
+        let mut failed = failures.into_inner().expect("failures");
+        if failed.is_empty() {
+            return Ok(());
+        }
+        failed.sort_by_key(|(name, _)| *name);
+        let detail: Vec<String> = failed
+            .iter()
+            .map(|(name, msg)| format!("{name}: {msg}"))
+            .collect();
+        Err(format!(
+            "precompute: {}/{} kernel(s) panicked even after retry at {:?} scale — {}",
+            failed.len(),
+            names.len(),
+            self.scale,
+            detail.join("; ")
+        ))
     }
 
     /// Names of the performance-figure benchmarks (crafty excluded).
@@ -205,6 +277,14 @@ impl Suite {
     pub fn all_names(&self) -> Vec<&'static str> {
         all().iter().map(|w| w.name).collect()
     }
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    payload
+        .downcast_ref::<&str>()
+        .map(|s| s.to_string())
+        .or_else(|| payload.downcast_ref::<String>().cloned())
+        .unwrap_or_else(|| "<non-string panic payload>".into())
 }
 
 #[cfg(test)]
@@ -312,6 +392,33 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn precompute_isolates_a_panicking_kernel() {
+        // Regression: a panicking worker used to tear down the whole
+        // thread::scope, losing every other kernel's results. Now the
+        // poisoned kernel is named (with its panic message) and the
+        // survivors' results land.
+        let mut s = Suite::new(SuiteScale::Test);
+        s.inject_panic_kernel("crafty");
+        let err = s
+            .precompute_jobs_result(
+                &["crafty", "sphinx", "twolf"],
+                &[Scheme::NoPrefetch],
+                Some(2),
+            )
+            .unwrap_err();
+        assert!(err.contains("crafty"), "error names the kernel: {err}");
+        assert!(err.contains("injected precompute panic"), "{err}");
+        assert!(err.contains("1/3"), "error counts failures: {err}");
+        assert!(err.contains("Test"), "error names the scale: {err}");
+        // Survivors' results landed and the suite stays usable.
+        assert!(s.results.contains_key(&("sphinx", Scheme::NoPrefetch)));
+        assert!(s.results.contains_key(&("twolf", Scheme::NoPrefetch)));
+        assert!(!s.results.contains_key(&("crafty", Scheme::NoPrefetch)));
+        let r = s.run("sphinx", Scheme::NoPrefetch);
+        assert!(r.cycles > 0);
     }
 
     #[test]

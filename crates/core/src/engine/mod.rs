@@ -127,6 +127,13 @@ pub trait Prefetcher: std::fmt::Debug {
         Ok(())
     }
 
+    /// Fault-injection seam: withholds `amount` entries of candidate-queue
+    /// capacity until reset with zero (the effective capacity never drops
+    /// below one). Engines with a bounded queue trim immediately, emitting
+    /// the same squash events as ordinary back-pressure; engines without
+    /// one ignore it.
+    fn set_queue_pressure(&mut self, _amount: usize) {}
+
     #[doc(hidden)]
     fn inject_fault_unbounded_queue(&mut self) {}
 }

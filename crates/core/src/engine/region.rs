@@ -167,6 +167,10 @@ pub struct RegionPrefetcher {
     // bound. Exists so the invariant-observer gate can prove it detects
     // queue-bound bugs; never set in production.
     fault_unbounded: bool,
+    // Fault-injection back-pressure: entries of capacity currently
+    // withheld (effective capacity floors at one). Zero outside fault
+    // windows, so the unfaulted path is untouched.
+    pressure: usize,
 }
 
 impl RegionPrefetcher {
@@ -185,6 +189,35 @@ impl RegionPrefetcher {
             trace: false,
             events: Vec::new(),
             fault_unbounded: false,
+            pressure: 0,
+        }
+    }
+
+    /// Queue capacity after subtracting any fault-injection pressure,
+    /// never less than one.
+    fn effective_capacity(&self) -> usize {
+        self.cfg.queue_capacity.saturating_sub(self.pressure).max(1)
+    }
+
+    /// Drops old entries off the bottom until occupancy fits the
+    /// effective capacity (§3.1's back-pressure, also reused by the
+    /// fault-injection queue squeeze).
+    fn enforce_capacity(&mut self) {
+        while !self.fault_unbounded && self.len > self.effective_capacity() {
+            let victim = if self.cfg.fifo { self.head } else { self.tail };
+            let dropped = self.remove_slot(victim);
+            if self.trace {
+                let mut rem = dropped.bits;
+                while rem != 0 {
+                    let bit = rem.trailing_zeros();
+                    rem &= rem - 1;
+                    self.events.push(EngineEvent::squashed(
+                        dropped.region.block(bit as usize),
+                        SquashReason::Dropped,
+                    ));
+                }
+            }
+            self.stats.entries_dropped += 1;
         }
     }
 
@@ -346,23 +379,7 @@ impl RegionPrefetcher {
             self.attach_head(id);
         }
         self.index.insert(key, id);
-        while !self.fault_unbounded && self.len > self.cfg.queue_capacity {
-            // Old entries fall off the bottom (§3.1).
-            let victim = if self.cfg.fifo { self.head } else { self.tail };
-            let dropped = self.remove_slot(victim);
-            if self.trace {
-                let mut rem = dropped.bits;
-                while rem != 0 {
-                    let bit = rem.trailing_zeros();
-                    rem &= rem - 1;
-                    self.events.push(EngineEvent::squashed(
-                        dropped.region.block(bit as usize),
-                        SquashReason::Dropped,
-                    ));
-                }
-            }
-            self.stats.entries_dropped += 1;
-        }
+        self.enforce_capacity();
     }
 
     /// Region size in blocks for a spatial miss: fixed 64, or the §3.3.2
@@ -721,6 +738,13 @@ impl Prefetcher for RegionPrefetcher {
         self.validate_queue()
     }
 
+    fn set_queue_pressure(&mut self, amount: usize) {
+        self.pressure = amount;
+        // Trim immediately — a shrinking window must not wait for the
+        // next allocation to take effect.
+        self.enforce_capacity();
+    }
+
     fn inject_fault_unbounded_queue(&mut self) {
         self.fault_unbounded = true;
     }
@@ -831,6 +855,37 @@ mod tests {
         }
         assert_eq!(p.queue_len(), 2);
         assert_eq!(p.stats().entries_dropped, 2);
+    }
+
+    #[test]
+    fn queue_pressure_trims_immediately_and_releases() {
+        let (mut p, l2, _mshrs, _dram, _m) = fresh(RegionConfig::srp(4));
+        for i in 0..4u64 {
+            let b = RegionAddr(i).block(0);
+            p.on_demand_miss(b, b.base(), RefId(0), HintSet::none(), false, &l2);
+        }
+        assert_eq!(p.queue_len(), 4);
+        p.set_queue_pressure(3);
+        assert_eq!(p.queue_len(), 1, "pressure trims live entries at once");
+        assert_eq!(p.stats().entries_dropped, 3);
+        p.validate_queue().unwrap();
+        // Under pressure the capacity stays squeezed for new entries too.
+        for i in 10..13u64 {
+            let b = RegionAddr(i).block(0);
+            p.on_demand_miss(b, b.base(), RefId(0), HintSet::none(), false, &l2);
+        }
+        assert_eq!(p.queue_len(), 1);
+        // Effective capacity floors at one even under absurd pressure.
+        p.set_queue_pressure(1_000);
+        assert_eq!(p.queue_len(), 1);
+        // Releasing the pressure restores the full capacity.
+        p.set_queue_pressure(0);
+        for i in 20..24u64 {
+            let b = RegionAddr(i).block(0);
+            p.on_demand_miss(b, b.base(), RefId(0), HintSet::none(), false, &l2);
+        }
+        assert_eq!(p.queue_len(), 4);
+        p.validate_queue().unwrap();
     }
 
     #[test]

@@ -43,6 +43,7 @@ pub struct InvariantObserver {
     issued: u64,
     prefetch_fills: u64,
     late_upgrades: u64,
+    dropped: u64,
     last_epoch: Option<EpochSnapshot>,
     violations: Vec<String>,
     total_violations: u64,
@@ -61,6 +62,7 @@ impl InvariantObserver {
             issued: 0,
             prefetch_fills: 0,
             late_upgrades: 0,
+            dropped: 0,
             last_epoch: None,
             violations: Vec::new(),
             total_violations: 0,
@@ -206,6 +208,16 @@ impl Observer for InvariantObserver {
         }
     }
 
+    fn prefetch_fill_dropped(&mut self, block: BlockAddr, _now: u64) {
+        self.dropped += 1;
+        if !self.inflight.remove(&block.0) {
+            self.report(format!(
+                "lifecycle: dropped fill of {:#x} with no in-flight prefetch",
+                block.0
+            ));
+        }
+    }
+
     fn epoch(&mut self, snap: &EpochSnapshot) {
         if snap.queue_occupancy > self.queue_capacity {
             self.report(format!(
@@ -262,12 +274,16 @@ impl Observer for InvariantObserver {
                 self.inflight.len()
             ));
         }
-        // Every issued prefetch lands exactly once: as a prefetch fill,
-        // or as a demand fill after a late-merge upgrade.
-        if self.issued != self.prefetch_fills + self.late_upgrades {
+        // Every issued prefetch resolves exactly once: as a prefetch
+        // fill, as a demand fill after a late-merge upgrade, or — under
+        // an injected fault — as an explicitly dropped fill. The
+        // identity is never waived under a fault plan; the dropped leg
+        // accounts for the faults instead.
+        if self.issued != self.prefetch_fills + self.late_upgrades + self.dropped {
             self.report(format!(
-                "end: conservation broken: issued {} != prefetch fills {} + late upgrades {}",
-                self.issued, self.prefetch_fills, self.late_upgrades
+                "end: conservation broken: issued {} != prefetch fills {} \
+                 + late upgrades {} + dropped {}",
+                self.issued, self.prefetch_fills, self.late_upgrades, self.dropped
             ));
         }
     }

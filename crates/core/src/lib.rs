@@ -17,6 +17,8 @@
 //!   traffic, and the perfect-L2 gap.
 //! * [`obs`] — the zero-cost observer layer: prefetch-lifecycle tracing
 //!   and epoch metrics sampling, compiled away when disabled.
+//! * [`faults`] — deterministic seeded fault injection ([`FaultPlan`])
+//!   and the graceful-degradation contract it verifies.
 //!
 //! # Example
 //!
@@ -44,6 +46,7 @@
 
 pub mod config;
 pub mod engine;
+pub mod faults;
 pub mod invariants;
 pub mod memsys;
 pub mod obs;
@@ -52,15 +55,21 @@ pub mod result;
 pub mod sim;
 
 pub use config::{IdealMode, Scheme, SimConfig};
+pub use faults::{FaultAction, FaultEvent, FaultKind, FaultPlan, FaultState};
 pub use invariants::InvariantObserver;
 pub use memsys::{MemSystem, MissAttribution};
 pub use obs::{
     EpochSampler, EpochSnapshot, LatencyHist, LifecycleTracer, NullObserver, Observer,
     ObserverPair, PrefetchOutcome, PrefetchRecord, SquashReason,
 };
-pub use oracle::{differential_check, AccessClass, DiffReport, OracleFault, OracleSystem};
+pub use oracle::{
+    differential_check, differential_check_faulted, AccessClass, DiffReport, OracleFault,
+    OracleSystem,
+};
 pub use result::{geomean, RunResult};
 pub use sim::{
-    engine_for, run_trace, run_trace_observed, run_trace_with_engine,
-    run_trace_with_engine_observed,
+    engine_for, replay, run_trace, run_trace_faulted, run_trace_observed,
+    run_trace_observed_faulted, run_trace_with_engine, run_trace_with_engine_observed,
 };
+#[doc(hidden)]
+pub use sim::replay_injected;

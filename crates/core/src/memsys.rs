@@ -13,7 +13,7 @@
 //! action ([`MemSystem::advance_to`]).
 
 use std::cmp::Reverse;
-use std::collections::BinaryHeap;
+use std::collections::{BinaryHeap, HashSet};
 
 use grp_cpu::{HintSet, RefId};
 use grp_mem::{
@@ -23,6 +23,7 @@ use grp_mem::{
 
 use crate::config::{IdealMode, SimConfig};
 use crate::engine::Prefetcher;
+use crate::faults::{FaultAction, FaultPlan, FaultState};
 use crate::obs::{EngineEventKind, EpochSnapshot, NullObserver, Observer};
 
 /// Per-reference L2 demand-miss attribution (Table 6's miss-cause data).
@@ -123,6 +124,15 @@ pub struct MemSystem<'m, O: Observer = NullObserver> {
     /// replay loop, snapshotted into epochs.
     epoch_events: u64,
     epoch_instructions: u64,
+    /// Armed fault plan, if any. `None` on the unfaulted path, whose only
+    /// cost is one branch per fill/advance step.
+    faults: Option<FaultState>,
+    /// Blocks whose in-flight prefetch fill was marked dropped at issue
+    /// time. Only probed by key, never iterated.
+    dropped_marks: HashSet<u64>,
+    /// Deliberately injected bug (`--inject drop-leak`): a dropped fill
+    /// forgets to release its MSHR register. Never set in production.
+    fault_drop_leak: bool,
 }
 
 impl<O: Observer> std::fmt::Debug for MemSystem<'_, O> {
@@ -185,7 +195,18 @@ impl<'m, O: Observer> MemSystem<'m, O> {
             engine_events: Vec::new(),
             epoch_events: 0,
             epoch_instructions: 0,
+            faults: None,
+            dropped_marks: HashSet::new(),
+            fault_drop_leak: false,
         }
+    }
+
+    /// Arms a fault plan. The plan's timed actions are applied in
+    /// timestamp order, interleaved with pending fills, as simulated time
+    /// advances; an empty plan leaves every run bit-identical to an
+    /// unfaulted one. Call before replaying any accesses.
+    pub fn install_faults(&mut self, plan: &FaultPlan) {
+        self.faults = Some(FaultState::new(plan));
     }
 
     /// The attached observer.
@@ -244,6 +265,44 @@ impl<'m, O: Observer> MemSystem<'m, O> {
         // injected replacement-policy bug the oracle gate must detect.
         self.l1.set_fault_evict_mru(true);
         self.l2.set_fault_evict_mru(true);
+    }
+
+    #[doc(hidden)]
+    pub fn inject_fault_drop_leak(&mut self) {
+        // Makes dropped prefetch fills leak their L2 MSHR register — the
+        // deliberately unhandled fault the robustness gate must detect
+        // (structural end-check + lifecycle conservation both fire).
+        self.fault_drop_leak = true;
+    }
+
+    /// Applies every fault action due at or before `now`, in timestamp
+    /// order. Both the real system and the oracle mirror call this at
+    /// the same simulation points (before each fill, and when time
+    /// advances), so faulted differential runs stay comparable.
+    fn apply_faults(&mut self, now: u64) {
+        if self.faults.is_none() {
+            return;
+        }
+        while let Some(action) = self.faults.as_mut().unwrap().next_action(now) {
+            match action {
+                FaultAction::StallChannel {
+                    channel,
+                    until,
+                    demands_too,
+                } => self.dram.stall_channel(channel, until, demands_too),
+                FaultAction::SetMshrSqueeze(n) => self.l2_mshrs.set_capacity_squeeze(n),
+                FaultAction::SetQueuePressure(n) => {
+                    self.engine.set_queue_pressure(n);
+                    if O::ENABLED {
+                        // Pressure trimming squashes queued candidates.
+                        self.drain_engine_events(now);
+                    }
+                }
+            }
+            if O::ENABLED {
+                self.obs.fault_injected(&action, now);
+            }
+        }
     }
 
     /// Forwards engine-buffered lifecycle events (queued/squashed) to the
@@ -434,10 +493,29 @@ impl<'m, O: Observer> MemSystem<'m, O> {
                 self.insert_l1(f.block, dirty, f.time);
             }
             FillLevel::L2 => {
+                let marked =
+                    !self.dropped_marks.is_empty() && self.dropped_marks.remove(&f.block.0);
+                if marked && self.fault_drop_leak {
+                    // Injected bug: forget the MSHR register along with
+                    // the data. Caught by the end-of-run structural check
+                    // and the invariant observer's conservation identity.
+                    return;
+                }
                 let entry = self
                     .l2_mshrs
                     .complete(f.block)
                     .expect("L2 fill without MSHR entry");
+                if marked && !entry.demand {
+                    // Fault: the fill's data was lost in transit. The
+                    // register is released on schedule but no line is
+                    // installed. A demand that merged into the entry
+                    // cancels the drop — demand correctness outranks the
+                    // injected fault.
+                    if O::ENABLED {
+                        self.obs.prefetch_fill_dropped(f.block, f.time);
+                    }
+                    return;
+                }
                 if O::ENABLED {
                     // Before insert_l2, so the tracer records the fill
                     // before any first-use/eviction it triggers.
@@ -467,8 +545,10 @@ impl<'m, O: Observer> MemSystem<'m, O> {
     /// the memory controller has already issued".
     fn prefetch_mshr_headroom(&self) -> bool {
         // Keep two registers free so an arriving demand miss never waits
-        // on a file saturated by prefetches.
-        self.l2_mshrs.occupancy() + 2 < self.cfg.l2_mshrs
+        // on a file saturated by prefetches. Measured against the
+        // *effective* capacity so an injected squeeze throttles
+        // prefetching instead of tripping the allocation assert below.
+        self.l2_mshrs.occupancy() + 2 < self.l2_mshrs.effective_capacity()
     }
 
     /// Attempts one prefetch issue at `now`. Returns true on success.
@@ -505,12 +585,25 @@ impl<'m, O: Observer> MemSystem<'m, O> {
         debug_assert_eq!(outcome, MshrOutcome::Allocated);
         let req = self.dram.issue(c.block, RequestKind::Prefetch, now);
         self.prefetches_issued += 1;
+        // Per-prefetch fill faults: a delay window makes the fill land
+        // late; a drop window marks it to lose its data on arrival.
+        let mut delayed = 0u64;
+        if let Some(st) = self.faults.as_ref() {
+            delayed = st.fill_delay(now);
+            if st.fill_dropped(now) {
+                self.dropped_marks.insert(c.block.0);
+            }
+        }
+        let complete_at = req.complete_at + delayed;
         if O::ENABLED {
             let channel = self.dram.channel_of(c.block);
             self.obs
-                .prefetch_issued(c.block, now, channel, req.row_hit, req.complete_at);
+                .prefetch_issued(c.block, now, channel, req.row_hit, complete_at);
+            if delayed > 0 {
+                self.obs.prefetch_fill_delayed(c.block, delayed, now);
+            }
         }
-        self.schedule_fill(req.complete_at, c.block, FillLevel::L2);
+        self.schedule_fill(complete_at, c.block, FillLevel::L2);
         true
     }
 
@@ -527,8 +620,13 @@ impl<'m, O: Observer> MemSystem<'m, O> {
                     break;
                 }
                 self.fills.pop();
+                // Fault actions interleave with fills by timestamp, so
+                // e.g. a stall lands before any writeback a later fill
+                // triggers (and identically so in the oracle mirror).
+                self.apply_faults(f.time);
                 self.process_fill(f);
             }
+            self.apply_faults(now);
             // Issue as many prefetches as possible at `now`.
             while self.try_issue_prefetch(now) {}
             // Find the next interesting time ≤ t. For the issue side, ask
@@ -552,6 +650,9 @@ impl<'m, O: Observer> MemSystem<'m, O> {
             }
             now = next;
         }
+        // Catch up to the target time so the caller's next DRAM issue
+        // sees every fault action due by then.
+        self.apply_faults(self.cursor.max(t));
         self.cursor = self.cursor.max(t);
     }
 
@@ -702,6 +803,7 @@ impl<'m, O: Observer> MemSystem<'m, O> {
         let mut last_fill = 0u64;
         while let Some(Reverse(f)) = self.fills.pop() {
             last_fill = last_fill.max(f.time);
+            self.apply_faults(f.time);
             self.process_fill(f);
         }
         if O::ENABLED {

@@ -26,6 +26,8 @@ use std::fmt;
 
 use grp_mem::BlockAddr;
 
+use crate::faults::FaultAction;
+
 /// Why a queued-but-not-issued prefetch candidate was discarded.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum SquashReason {
@@ -234,6 +236,26 @@ pub trait Observer {
         let _ = (block, now);
     }
 
+    /// A fault-injection action from the armed [`crate::FaultPlan`] was
+    /// applied at `now`. Faults are first-class observable events, so
+    /// lifecycle conservation is never waived under a fault plan.
+    fn fault_injected(&mut self, action: &FaultAction, now: u64) {
+        let _ = (action, now);
+    }
+
+    /// An in-flight prefetch fill lost its data to an injected fault:
+    /// the MSHR register was released on schedule but no line was
+    /// installed (the explicit `dropped` conservation leg).
+    fn prefetch_fill_dropped(&mut self, block: BlockAddr, now: u64) {
+        let _ = (block, now);
+    }
+
+    /// A prefetch issued at `now` will land `extra` cycles later than
+    /// the DRAM timing says, due to an injected delay window.
+    fn prefetch_fill_delayed(&mut self, block: BlockAddr, extra: u64, now: u64) {
+        let _ = (block, extra, now);
+    }
+
     /// An L2 demand miss was recorded (after attribution).
     fn l2_demand_miss(&mut self, block: BlockAddr, now: u64) {
         let _ = (block, now);
@@ -329,6 +351,21 @@ impl<A: Observer, B: Observer> Observer for ObserverPair<A, B> {
     fn late_prefetch_merge(&mut self, block: BlockAddr, now: u64) {
         self.0.late_prefetch_merge(block, now);
         self.1.late_prefetch_merge(block, now);
+    }
+
+    fn fault_injected(&mut self, action: &FaultAction, now: u64) {
+        self.0.fault_injected(action, now);
+        self.1.fault_injected(action, now);
+    }
+
+    fn prefetch_fill_dropped(&mut self, block: BlockAddr, now: u64) {
+        self.0.prefetch_fill_dropped(block, now);
+        self.1.prefetch_fill_dropped(block, now);
+    }
+
+    fn prefetch_fill_delayed(&mut self, block: BlockAddr, extra: u64, now: u64) {
+        self.0.prefetch_fill_delayed(block, extra, now);
+        self.1.prefetch_fill_delayed(block, extra, now);
     }
 
     fn l2_demand_miss(&mut self, block: BlockAddr, now: u64) {
@@ -448,6 +485,9 @@ pub enum PrefetchOutcome {
     ResidentAtEnd,
     /// Issued to DRAM but the fill had not landed at end of run.
     InFlightAtEnd,
+    /// Issued to DRAM but the fill's data was lost to an injected fault
+    /// (the MSHR register was released; no line was installed).
+    Dropped,
     /// Discarded by the engine before issue.
     Squashed(SquashReason),
     /// Still sitting in the engine queue at end of run.
@@ -463,6 +503,7 @@ impl PrefetchOutcome {
             PrefetchOutcome::EvictedUnused => "evicted_unused",
             PrefetchOutcome::ResidentAtEnd => "resident_at_end",
             PrefetchOutcome::InFlightAtEnd => "in_flight_at_end",
+            PrefetchOutcome::Dropped => "dropped",
             PrefetchOutcome::Squashed(SquashReason::Stale) => "squashed_stale",
             PrefetchOutcome::Squashed(SquashReason::Dropped) => "squashed_dropped",
             PrefetchOutcome::Squashed(SquashReason::DemandHit) => "squashed_demand_hit",
@@ -512,6 +553,9 @@ pub struct LifecycleTracer {
     in_flight_at_end: u64,
     squashed: u64,
     queued_at_end: u64,
+    dropped: u64,
+    delayed: u64,
+    faults_seen: u64,
     final_cycle: u64,
 }
 
@@ -579,6 +623,21 @@ impl LifecycleTracer {
     /// Candidates still queued at end of run.
     pub fn queued_at_end(&self) -> u64 {
         self.queued_at_end
+    }
+
+    /// Issued prefetches whose fill data was lost to an injected fault.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Issued prefetches whose fill was delayed by an injected fault.
+    pub fn delayed(&self) -> u64 {
+        self.delayed
+    }
+
+    /// Fault-plan actions applied during the run.
+    pub fn faults_seen(&self) -> u64 {
+        self.faults_seen
     }
 
     /// L2 demand misses observed.
@@ -798,6 +857,31 @@ impl Observer for LifecycleTracer {
         self.late += 1;
     }
 
+    fn fault_injected(&mut self, action: &FaultAction, now: u64) {
+        let _ = (action, now);
+        self.faults_seen += 1;
+    }
+
+    fn prefetch_fill_dropped(&mut self, block: BlockAddr, now: u64) {
+        let Some(&idx) = self.open.get(&block.0) else {
+            debug_assert!(false, "dropped fill without open record for {:#x}", block.0);
+            return;
+        };
+        let r = &mut self.records[idx];
+        // A demand merge cancels the drop before this hook can fire, so
+        // the record is always still issued-and-undecided here.
+        debug_assert!(r.issued_at.is_some() && r.outcome.is_none());
+        r.outcome = Some(PrefetchOutcome::Dropped);
+        r.outcome_at = Some(now);
+        self.dropped += 1;
+        self.open.remove(&block.0);
+    }
+
+    fn prefetch_fill_delayed(&mut self, block: BlockAddr, extra: u64, now: u64) {
+        let _ = (block, extra, now);
+        self.delayed += 1;
+    }
+
     fn l2_demand_miss(&mut self, block: BlockAddr, now: u64) {
         let _ = (block, now);
         self.demand_misses += 1;
@@ -978,7 +1062,34 @@ mod tests {
                 + t.evicted_unused()
                 + t.resident_at_end()
                 + t.in_flight_at_end()
+                + t.dropped()
         );
+    }
+
+    #[test]
+    fn dropped_fill_closes_record_with_dropped_leg() {
+        let mut t = LifecycleTracer::new();
+        t.prefetch_queued(b(0x40), 0);
+        t.prefetch_issued(b(0x40), 5, 0, true, 105);
+        t.prefetch_fill_delayed(b(0x40), 60, 5);
+        t.prefetch_fill_dropped(b(0x40), 165);
+        t.run_end(300);
+        assert_eq!(t.dropped(), 1);
+        assert_eq!(t.delayed(), 1);
+        let r = &t.records()[0];
+        assert_eq!(r.outcome, Some(PrefetchOutcome::Dropped));
+        assert_eq!(r.outcome_at, Some(165));
+        assert_eq!(r.filled_at, None, "no data ever landed");
+        assert_eq!(
+            t.issued(),
+            t.first_used()
+                + t.late()
+                + t.evicted_unused()
+                + t.resident_at_end()
+                + t.in_flight_at_end()
+                + t.dropped()
+        );
+        assert!(t.jsonl().contains("\"outcome\":\"dropped\""));
     }
 
     #[test]

@@ -17,6 +17,7 @@ use grp_mem::{Addr, BlockAddr, HeapRange, InsertPriority, Memory, RequestKind};
 
 use crate::config::{IdealMode, SimConfig};
 use crate::engine::NoPrefetcher;
+use crate::faults::{FaultAction, FaultPlan, FaultState};
 use crate::memsys::MemSystem;
 
 /// How a demand access resolved, at the granularity both systems can
@@ -99,6 +100,10 @@ pub struct OracleSystem {
     /// to the cursor.
     cursor: u64,
     attribution: Vec<u64>,
+    /// Mirror of the optimized system's fault plan, applied at the same
+    /// simulation points (before each fill, and when time advances) so a
+    /// faulted differential run stays comparable.
+    faults: Option<FaultState>,
 }
 
 impl OracleSystem {
@@ -113,7 +118,33 @@ impl OracleSystem {
             fills: Vec::new(),
             cursor: 0,
             attribution: Vec::new(),
+            faults: None,
             cfg,
+        }
+    }
+
+    /// Arms the same fault plan as the optimized system under test.
+    /// Prefetch-only faults (delayed/dropped fills, queue pressure) have
+    /// no effect on the oracle's no-prefetch semantics; channel stalls,
+    /// outages, and the MSHR squeeze are mirrored exactly.
+    pub fn install_faults(&mut self, plan: &FaultPlan) {
+        self.faults = Some(FaultState::new(plan));
+    }
+
+    fn apply_faults(&mut self, now: u64) {
+        if self.faults.is_none() {
+            return;
+        }
+        while let Some(action) = self.faults.as_mut().unwrap().next_action(now) {
+            match action {
+                FaultAction::StallChannel {
+                    channel,
+                    until,
+                    demands_too,
+                } => self.dram.stall_channel(channel, until, demands_too),
+                FaultAction::SetMshrSqueeze(n) => self.l2_mshrs.set_capacity_squeeze(n),
+                FaultAction::SetQueuePressure(_) => {}
+            }
         }
     }
 
@@ -157,8 +188,12 @@ impl OracleSystem {
     pub fn advance_to(&mut self, t: u64) {
         let horizon = self.cursor.max(t);
         while let Some(f) = self.pop_fill_due(horizon) {
+            // Fault actions interleave with fills by timestamp, exactly
+            // as in the optimized system's advance loop.
+            self.apply_faults(f.time);
             self.process_fill(f);
         }
+        self.apply_faults(horizon);
         self.cursor = horizon;
     }
 
@@ -313,11 +348,38 @@ pub fn differential_check(
     cfg: &SimConfig,
     fault: OracleFault,
 ) -> Result<DiffReport, String> {
+    differential_check_faulted(trace, mem, heap, cfg, fault, None)
+}
+
+/// [`differential_check`] with a [`FaultPlan`] armed on *both* systems.
+///
+/// This is the graceful-degradation contract's correctness leg: even
+/// under channel stalls, outages, and MSHR squeezes, the optimized
+/// system's demand behaviour must match the naive oracle event for
+/// event. Prefetch-only faults (delayed/dropped fills, queue pressure)
+/// are inert under no-prefetch and trivially preserve agreement.
+///
+/// # Errors
+///
+/// Returns a message naming the first diverging access (or end-state
+/// field) on any mismatch.
+pub fn differential_check_faulted(
+    trace: &Trace,
+    mem: &Memory,
+    heap: HeapRange,
+    cfg: &SimConfig,
+    fault: OracleFault,
+    plan: Option<&FaultPlan>,
+) -> Result<DiffReport, String> {
     let mut ms = MemSystem::new(*cfg, IdealMode::None, Box::new(NoPrefetcher), mem, heap);
     if fault == OracleFault::EvictMru {
         ms.inject_fault_evict_mru();
     }
     let mut oracle = OracleSystem::new(*cfg);
+    if let Some(plan) = plan {
+        ms.install_faults(plan);
+        oracle.install_faults(plan);
+    }
 
     let mut win_real = Window::new(cfg.window);
     let mut win_oracle = Window::new(cfg.window);
@@ -581,6 +643,26 @@ mod tests {
         t.finish();
         differential_check(&t, &mem, heap(), &SimConfig::paper(), OracleFault::None)
             .expect("MSHR-pressure trace must match");
+    }
+
+    #[test]
+    fn differential_passes_under_every_builtin_fault_plan() {
+        // The degradation contract: demand correctness survives every
+        // built-in fault plan. The same plan is armed on both systems,
+        // so stalls, outages, and MSHR squeezes land identically.
+        let mem = Memory::new();
+        let trace = mixed_trace();
+        for (name, plan) in FaultPlan::builtin() {
+            differential_check_faulted(
+                &trace,
+                &mem,
+                heap(),
+                &SimConfig::paper(),
+                OracleFault::None,
+                Some(&plan),
+            )
+            .unwrap_or_else(|e| panic!("faulted differential '{name}' failed: {e}"));
+        }
     }
 
     #[test]

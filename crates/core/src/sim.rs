@@ -7,6 +7,7 @@ use crate::config::{Scheme, SimConfig};
 use crate::engine::region::{RegionConfig, RegionPrefetcher};
 use crate::engine::stride::{StrideConfig, StridePrefetcher};
 use crate::engine::{NoPrefetcher, Prefetcher};
+use crate::faults::FaultPlan;
 use crate::memsys::MemSystem;
 use crate::obs::{NullObserver, Observer};
 use crate::result::RunResult;
@@ -89,6 +90,35 @@ pub fn run_trace_observed<O: Observer>(
     run_trace_with_engine_observed(trace, mem, heap, scheme, cfg, engine, obs)
 }
 
+/// Like [`run_trace`], replaying under a [`FaultPlan`]. An empty plan
+/// yields a bit-identical result to the unfaulted run.
+pub fn run_trace_faulted(
+    trace: &Trace,
+    mem: &Memory,
+    heap: HeapRange,
+    scheme: Scheme,
+    cfg: &SimConfig,
+    plan: &FaultPlan,
+) -> RunResult {
+    let engine = engine_for(scheme, cfg);
+    replay(trace, mem, heap, scheme, cfg, engine, NullObserver, Some(plan)).0
+}
+
+/// Like [`run_trace_observed`], replaying under a [`FaultPlan`]. Every
+/// injected fault is reported through the observer's fault hooks.
+pub fn run_trace_observed_faulted<O: Observer>(
+    trace: &Trace,
+    mem: &Memory,
+    heap: HeapRange,
+    scheme: Scheme,
+    cfg: &SimConfig,
+    obs: O,
+    plan: &FaultPlan,
+) -> (RunResult, O) {
+    let engine = engine_for(scheme, cfg);
+    replay(trace, mem, heap, scheme, cfg, engine, obs, Some(plan))
+}
+
 /// The fully general replay: caller-supplied engine *and* observer.
 #[allow(clippy::too_many_arguments)]
 pub fn run_trace_with_engine_observed<O: Observer>(
@@ -100,8 +130,48 @@ pub fn run_trace_with_engine_observed<O: Observer>(
     engine: Box<dyn Prefetcher>,
     obs: O,
 ) -> (RunResult, O) {
+    replay(trace, mem, heap, scheme, cfg, engine, obs, None)
+}
+
+/// Like [`run_trace_with_engine_observed`], optionally armed with a
+/// [`FaultPlan`] — the superset entry point every wrapper above feeds.
+#[allow(clippy::too_many_arguments)]
+pub fn replay<O: Observer>(
+    trace: &Trace,
+    mem: &Memory,
+    heap: HeapRange,
+    scheme: Scheme,
+    cfg: &SimConfig,
+    engine: Box<dyn Prefetcher>,
+    obs: O,
+    plan: Option<&FaultPlan>,
+) -> (RunResult, O) {
+    replay_injected(trace, mem, heap, scheme, cfg, engine, obs, plan, false)
+}
+
+/// [`replay`] with the dropped-fill MSHR-leak bug optionally armed —
+/// the seam behind the `check` gate's `--inject drop-leak` teeth test.
+#[doc(hidden)]
+#[allow(clippy::too_many_arguments)]
+pub fn replay_injected<O: Observer>(
+    trace: &Trace,
+    mem: &Memory,
+    heap: HeapRange,
+    scheme: Scheme,
+    cfg: &SimConfig,
+    engine: Box<dyn Prefetcher>,
+    obs: O,
+    plan: Option<&FaultPlan>,
+    drop_leak: bool,
+) -> (RunResult, O) {
     let mut window = Window::new(cfg.window);
     let mut ms = MemSystem::with_observer(*cfg, scheme.ideal_mode(), engine, mem, heap, obs);
+    if let Some(plan) = plan {
+        ms.install_faults(plan);
+    }
+    if drop_leak {
+        ms.inject_fault_drop_leak();
+    }
     let mut events = 0u64;
     let mut load_completions: Vec<u64> = Vec::with_capacity(trace.loads() as usize);
     let mut load_latency_sum = 0u64;
@@ -188,6 +258,7 @@ pub fn run_trace_with_engine_observed<O: Observer>(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::faults::FaultKind;
     use grp_cpu::{HintSet, RefId};
     use grp_mem::Addr;
 
@@ -337,6 +408,77 @@ mod tests {
         );
         // But performance must not collapse (prioritizer protects demand).
         assert!(srp.cycles < base.cycles * 21 / 20);
+    }
+
+    #[test]
+    fn zero_fault_plan_is_bit_identical_to_unfaulted_run() {
+        let mem = Memory::new();
+        let cfg = SimConfig::paper();
+        let trace = stream_trace(5_000, 4, HintSet::none().with_spatial());
+        for scheme in [Scheme::NoPrefetch, Scheme::Srp, Scheme::GrpVar, Scheme::Stride] {
+            let plain = run_trace(&trace, &mem, heap(), scheme, &cfg);
+            let faulted =
+                run_trace_faulted(&trace, &mem, heap(), scheme, &cfg, &FaultPlan::none());
+            assert_eq!(plain, faulted, "{scheme:?}: empty plan must be inert");
+        }
+    }
+
+    #[test]
+    fn faulted_runs_complete_and_degrade_gracefully() {
+        let mem = Memory::new();
+        let cfg = SimConfig::paper();
+        let trace = stream_trace(10_000, 4, HintSet::none().with_spatial());
+        let srp = run_trace(&trace, &mem, heap(), Scheme::Srp, &cfg);
+        for (name, plan) in FaultPlan::builtin() {
+            let faulted = run_trace_faulted(&trace, &mem, heap(), Scheme::Srp, &cfg, &plan);
+            // Demand correctness: the same loads retire, stats stay sane.
+            assert_eq!(faulted.instructions, srp.instructions, "{name}");
+            // Faults only remove capacity/timeliness, so a faulted
+            // prefetcher never beats its unfaulted self.
+            assert!(faulted.cycles >= srp.cycles, "{name}: faults cannot speed up a run");
+            // Graceful degradation: under the same fault plan, the
+            // prefetching scheme lands in the vicinity of the
+            // no-prefetch baseline — faults take away the benefit but
+            // the prioritizer keeps prefetch traffic from compounding
+            // the damage. Delayed fills are the one fault that can
+            // actively hurt: a demand merging into an in-flight
+            // prefetch MSHR inherits the delayed fill time (the block
+            // is held hostage), so those plans get a wider bound.
+            let faulted_base =
+                run_trace_faulted(&trace, &mem, heap(), Scheme::NoPrefetch, &cfg, &plan);
+            let delays_fills = plan
+                .events
+                .iter()
+                .any(|e| matches!(e.kind, FaultKind::DelayFills { .. }));
+            let (num, den) = if delays_fills { (3, 1) } else { (5, 4) };
+            assert!(
+                faulted.cycles <= faulted_base.cycles * num / den,
+                "{name}: degrades toward the no-prefetch baseline: {} vs faulted base {}",
+                faulted.cycles,
+                faulted_base.cycles
+            );
+        }
+    }
+
+    #[test]
+    fn dropped_fills_are_refetched_on_demand() {
+        let mem = Memory::new();
+        let cfg = SimConfig::paper();
+        let trace = stream_trace(5_000, 4, HintSet::none());
+        let (_, plan) = FaultPlan::builtin()
+            .into_iter()
+            .find(|(n, _)| *n == "dropped-fills")
+            .unwrap();
+        let srp = run_trace(&trace, &mem, heap(), Scheme::Srp, &cfg);
+        let dropped = run_trace_faulted(&trace, &mem, heap(), Scheme::Srp, &cfg, &plan);
+        // Every prefetch loses its data, so the stream's misses come
+        // back; the run degrades toward (and lands near) no-prefetch.
+        assert!(
+            dropped.l2.demand_misses > srp.l2.demand_misses,
+            "dropping fills costs misses: {} vs {}",
+            dropped.l2.demand_misses,
+            srp.l2.demand_misses
+        );
     }
 
     #[test]

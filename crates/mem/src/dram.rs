@@ -276,6 +276,21 @@ impl Dram {
         self.channels[self.channel_of(block)].bus_free_at
     }
 
+    /// Fault-injection seam: holds `channel`'s data bus busy until cycle
+    /// `until`. A *stall* (`demands_too = false`) blocks only prefetches
+    /// and writebacks — demands still preempt through, paying at most the
+    /// usual `t_preempt` penalty. An *outage* (`demands_too = true`)
+    /// blocks every request kind. The stall occupies no bank and counts
+    /// no access, so the row-accounting identity is unaffected; horizons
+    /// only ever move forward, preserving the demand ≤ overall invariant.
+    pub fn stall_channel(&mut self, channel: usize, until: u64, demands_too: bool) {
+        let ch = &mut self.channels[channel % self.cfg.channels];
+        ch.bus_free_at = ch.bus_free_at.max(until);
+        if demands_too {
+            ch.demand_bus_free_at = ch.demand_bus_free_at.max(until);
+        }
+    }
+
     /// Accumulated data-bus busy cycles, one slot per channel — the
     /// numerator of a per-channel busy fraction over any cycle window.
     pub fn channel_busy_cycles(&self) -> &[u64] {
@@ -450,5 +465,39 @@ mod tests {
         let mut d = dram();
         d.issue(BlockAddr(0), RequestKind::Writeback, 0);
         assert!(!d.channel_idle(BlockAddr(4), 0));
+    }
+
+    #[test]
+    fn stall_blocks_prefetches_but_not_demands() {
+        let mut d = dram();
+        let cfg = d.config();
+        d.stall_channel(0, 1_000, false);
+        assert!(!d.channel_idle(BlockAddr(0), 500));
+        d.check_invariants().unwrap();
+        // A prefetch waits for the stall to clear…
+        let p = d.issue(BlockAddr(0), RequestKind::Prefetch, 500);
+        assert!(p.complete_at >= 1_000 + cfg.t_overhead);
+        // …but a demand on a freshly stalled channel pays only t_preempt.
+        let mut d2 = dram();
+        d2.stall_channel(0, 1_000, false);
+        let q = d2.issue(BlockAddr(0), RequestKind::Demand, 500);
+        assert_eq!(
+            q.complete_at,
+            500 + cfg.t_preempt + cfg.t_overhead + cfg.t_row_hit + cfg.t_row_miss_extra + cfg.t_burst
+        );
+        d2.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn outage_blocks_demands_too() {
+        let mut d = dram();
+        let cfg = d.config();
+        d.stall_channel(0, 2_000, true);
+        let q = d.issue(BlockAddr(0), RequestKind::Demand, 500);
+        assert_eq!(
+            q.complete_at,
+            2_000 + cfg.t_overhead + cfg.t_row_hit + cfg.t_row_miss_extra + cfg.t_burst
+        );
+        d.check_invariants().unwrap();
     }
 }

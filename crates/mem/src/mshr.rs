@@ -42,6 +42,11 @@ pub struct MshrEntry {
 #[derive(Debug, Clone)]
 pub struct MshrFile {
     capacity: usize,
+    /// Fault-injection seam: registers temporarily withheld from the
+    /// file. The effective capacity is `capacity - squeeze`, floored at
+    /// one register so forward progress is always possible. Zero (the
+    /// default) leaves behaviour bit-identical to an unsqueezed file.
+    squeeze: usize,
     entries: VecDeque<MshrEntry>,
     peak_occupancy: usize,
     merges: u64,
@@ -65,6 +70,7 @@ impl MshrFile {
         assert!(capacity > 0);
         Self {
             capacity,
+            squeeze: 0,
             entries: VecDeque::with_capacity(capacity),
             peak_occupancy: 0,
             merges: 0,
@@ -82,9 +88,23 @@ impl MshrFile {
         self.capacity
     }
 
+    /// Registers usable right now: the configured capacity minus any
+    /// active fault-injection squeeze, never less than one.
+    pub fn effective_capacity(&self) -> usize {
+        self.capacity.saturating_sub(self.squeeze).max(1)
+    }
+
+    /// Fault-injection seam: withholds `squeeze` registers until reset
+    /// with zero. Entries already allocated above the squeezed capacity
+    /// stay live and drain normally — the squeeze only blocks *new*
+    /// allocations, so no invariant is violated mid-window.
+    pub fn set_capacity_squeeze(&mut self, squeeze: usize) {
+        self.squeeze = squeeze;
+    }
+
     /// True when no more misses can be tracked.
     pub fn is_full(&self) -> bool {
-        self.entries.len() >= self.capacity
+        self.entries.len() >= self.effective_capacity()
     }
 
     /// Highest simultaneous occupancy observed.
@@ -353,5 +373,35 @@ mod tests {
     fn complete_unknown_block_is_none() {
         let mut m = MshrFile::new(1);
         assert!(m.complete(BlockAddr(9)).is_none());
+    }
+
+    #[test]
+    fn capacity_squeeze_blocks_new_allocations_only() {
+        let mut m = MshrFile::new(4);
+        for i in 0..3 {
+            m.allocate_or_merge(BlockAddr(i), true, None, 0, false);
+        }
+        m.set_capacity_squeeze(2);
+        assert_eq!(m.effective_capacity(), 2);
+        assert!(m.is_full(), "occupancy 3 above squeezed capacity 2");
+        assert_eq!(
+            m.allocate_or_merge(BlockAddr(9), true, None, 0, false),
+            MshrOutcome::Full
+        );
+        // Merges into live entries still work, and the invariants hold
+        // with occupancy above the squeezed (but not nominal) capacity.
+        assert_eq!(
+            m.allocate_or_merge(BlockAddr(0), true, None, 0, false),
+            MshrOutcome::Merged
+        );
+        m.check_invariants().unwrap();
+        m.complete(BlockAddr(0));
+        m.complete(BlockAddr(1));
+        assert!(!m.is_full(), "drained below squeezed capacity");
+        // A squeeze past the whole file still leaves one register.
+        m.set_capacity_squeeze(100);
+        assert_eq!(m.effective_capacity(), 1);
+        m.set_capacity_squeeze(0);
+        assert_eq!(m.effective_capacity(), 4);
     }
 }

@@ -216,6 +216,8 @@ pub struct OracleMshrEntry {
 #[derive(Debug, Clone)]
 pub struct OracleMshr {
     capacity: usize,
+    /// Fault-injection mirror of [`crate::MshrFile`]'s capacity squeeze.
+    squeeze: usize,
     entries: Vec<OracleMshrEntry>,
 }
 
@@ -225,13 +227,20 @@ impl OracleMshr {
         assert!(capacity > 0);
         Self {
             capacity,
+            squeeze: 0,
             entries: Vec::new(),
         }
     }
 
+    /// Mirrors [`crate::MshrFile::set_capacity_squeeze`]: withholds
+    /// `squeeze` registers (floored at one usable register).
+    pub fn set_capacity_squeeze(&mut self, squeeze: usize) {
+        self.squeeze = squeeze;
+    }
+
     /// True when no further miss can be tracked.
     pub fn is_full(&self) -> bool {
-        self.entries.len() >= self.capacity
+        self.entries.len() >= self.capacity.saturating_sub(self.squeeze).max(1)
     }
 
     /// Registers in use.
@@ -320,6 +329,16 @@ impl OracleDram {
     /// Access counters (same struct as the optimized DRAM).
     pub fn stats(&self) -> &DramStats {
         &self.stats
+    }
+
+    /// Mirrors [`crate::Dram::stall_channel`]: holds the channel's bus
+    /// (and, for an outage, its demand horizon) busy until `until`.
+    pub fn stall_channel(&mut self, channel: usize, until: u64, demands_too: bool) {
+        let ch = channel % self.cfg.channels;
+        self.bus_free_at[ch] = self.bus_free_at[ch].max(until);
+        if demands_too {
+            self.demand_bus_free_at[ch] = self.demand_bus_free_at[ch].max(until);
+        }
     }
 
     fn channel_of(&self, block: BlockAddr) -> usize {

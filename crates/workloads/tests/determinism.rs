@@ -8,7 +8,10 @@
 //! and simulating a kernel twice must produce bit-identical traces and
 //! simulator statistics.
 
-use grp_core::{LifecycleTracer, RunResult, Scheme, SimConfig};
+use grp_core::{
+    run_trace, run_trace_faulted, run_trace_observed, run_trace_observed_faulted, FaultPlan,
+    LifecycleTracer, RunResult, Scheme, SimConfig,
+};
 use grp_workloads::{all, Scale};
 
 /// The stats a regression would corrupt first, as one comparable
@@ -123,6 +126,86 @@ fn observed_runs_match_unobserved_runs() {
         .build(Scale::Test)
         .run_observed(Scheme::GrpVar, &cfg, LifecycleTracer::new());
     assert_eq!(plain, Fingerprint::of(&observed));
+}
+
+/// A zero-fault plan must be inert to the last bit: same `RunResult`
+/// (full `Eq`, every counter), same lifecycle JSONL bytes, as the
+/// plain unfaulted run — the fault seams cost nothing when idle.
+#[test]
+fn zero_fault_plan_is_bit_identical_to_unfaulted_run() {
+    let cfg = SimConfig::paper();
+    let none = FaultPlan::none();
+    for name in ["gzip", "mcf", "swim"] {
+        let w = grp_workloads::by_name(name).expect("registered");
+        let built = w.build(Scale::Test);
+        let (trace, mem) = built.trace(Scheme::GrpVar.compiler_config().as_ref());
+        let plain = run_trace(&trace, &mem, built.heap, Scheme::GrpVar, &cfg);
+        let idle = run_trace_faulted(&trace, &mem, built.heap, Scheme::GrpVar, &cfg, &none);
+        assert_eq!(plain, idle, "workload '{name}': empty fault plan perturbed the run");
+        let (_, ta) = run_trace_observed(
+            &trace,
+            &mem,
+            built.heap,
+            Scheme::GrpVar,
+            &cfg,
+            LifecycleTracer::new(),
+        );
+        let (_, tb) = run_trace_observed_faulted(
+            &trace,
+            &mem,
+            built.heap,
+            Scheme::GrpVar,
+            &cfg,
+            LifecycleTracer::new(),
+            &none,
+        );
+        assert_eq!(
+            ta.jsonl(),
+            tb.jsonl(),
+            "workload '{name}': empty fault plan perturbed the lifecycle JSONL"
+        );
+    }
+}
+
+/// Faulted runs are as reproducible as unfaulted ones: the same seeded
+/// fault plan over two independent builds must agree on every counter
+/// and every lifecycle JSONL byte — a failing faulted seed is a
+/// complete reproducer.
+#[test]
+fn same_seed_faulted_runs_are_bit_identical_across_builds() {
+    let cfg = SimConfig::paper();
+    let plans: Vec<FaultPlan> = vec![
+        FaultPlan::generate(0x5eed_fa17),
+        FaultPlan::builtin()
+            .into_iter()
+            .find(|(n, _)| *n == "storm")
+            .expect("storm builtin")
+            .1,
+    ];
+    let w = grp_workloads::by_name("swim").expect("registered");
+    for plan in &plans {
+        let run = || {
+            let built = w.build(Scale::Test);
+            let (trace, mem) = built.trace(Scheme::GrpVar.compiler_config().as_ref());
+            run_trace_observed_faulted(
+                &trace,
+                &mem,
+                built.heap,
+                Scheme::GrpVar,
+                &cfg,
+                LifecycleTracer::new(),
+                plan,
+            )
+        };
+        let (ra, ta) = run();
+        let (rb, tb) = run();
+        assert_eq!(ra, rb, "faulted run diverged across identically-seeded builds");
+        assert_eq!(
+            ta.jsonl(),
+            tb.jsonl(),
+            "faulted lifecycle JSONL diverged across identically-seeded builds"
+        );
+    }
 }
 
 /// Different salts must give different streams: if two kernels ever

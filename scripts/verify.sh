@@ -62,10 +62,19 @@ echo "== correctness gate: oracle differential + seeded fuzzing (offline) =="
 cargo run --release -q --offline -p grp-bench --bin check -- \
     --scale test --cases 8 --seed 0x5eedc4ec00000000 > /dev/null
 
+echo "== fault gate: zero-fault identity + builtin sweep + faulted fuzzing =="
+# --faults arms the sweep over every builtin fault plan plus seeded
+# (access-plan, fault-plan) pair fuzzing; demand correctness, lifecycle
+# conservation, and the no-panic contract must all hold under faults.
+cargo run --release -q --offline -p grp-bench --bin check -- \
+    --scale test --cases 8 --faults --seed 0x5eedc4ec00000000 > /dev/null
+
 echo "== correctness gate has teeth: injected bugs must be caught =="
 # Each injection plants a deliberate bug (bad replacement victim /
-# unbounded engine queue); the gate must exit nonzero on both.
-for inject in mru-evict unbounded-queue; do
+# unbounded engine queue / dropped fill leaking its MSHR entry);
+# the gate must exit nonzero on every one. drop-leak needs no extra
+# flags: it auto-enables --faults so the dropped-fill path is exercised.
+for inject in mru-evict unbounded-queue drop-leak; do
     if cargo run --release -q --offline -p grp-bench --bin check -- \
         --scale test --cases 2 --inject "$inject" > /dev/null 2>&1; then
         echo "ERROR: check --inject $inject passed but must fail" >&2
@@ -73,6 +82,19 @@ for inject in mru-evict unbounded-queue; do
     fi
     echo "  -- $inject: caught"
 done
+
+echo "== artifact gate: interrupted write must be flagged, not crash =="
+# Simulate a process killed mid-write by truncating a copy of the
+# committed trajectory; --check must exit nonzero with a readable
+# error naming the path instead of panicking.
+TRUNC="$TRACE_TMP/BENCH_perf.truncated.json"
+head -c 64 BENCH_perf.json > "$TRUNC"
+if cargo run --release -q --offline -p grp-bench --bin perf -- \
+    --check "$TRUNC" > /dev/null 2>&1; then
+    echo "ERROR: perf --check accepted a truncated trajectory" >&2
+    exit 1
+fi
+echo "  -- truncated trajectory: flagged"
 
 echo "== perf trajectory: committed BENCH_perf.json parses =="
 if [ ! -f BENCH_perf.json ]; then
