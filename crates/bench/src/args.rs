@@ -94,6 +94,36 @@ pub fn parse_jobs_args(args: &[String]) -> Result<Option<usize>, String> {
     }
 }
 
+/// Parses `--schemes <csv>` (comma-separated [`grp_core::Scheme`]
+/// labels, e.g. `none,SRP,GRP/Var`) shared by the perf harness and the
+/// serve bin. `Ok(None)` when the flag is absent; an error naming the
+/// offending label and every valid label on a typo, an empty list, or
+/// a duplicated entry (a duplicate would silently double a grid cell).
+pub fn parse_schemes_args(args: &[String]) -> Result<Option<Vec<grp_core::Scheme>>, String> {
+    let valid = || {
+        grp_core::Scheme::ALL
+            .map(|s| s.label())
+            .join(", ")
+    };
+    let Some(csv) = strict_value(args, "--schemes", "a comma-separated scheme list")? else {
+        return Ok(None);
+    };
+    let mut out = Vec::new();
+    for part in csv.split(',') {
+        let label = part.trim();
+        let scheme = grp_core::Scheme::by_label(label)
+            .ok_or_else(|| format!("unknown scheme '{label}' (valid: {})", valid()))?;
+        if out.contains(&scheme) {
+            return Err(format!("--schemes lists '{label}' twice (valid: {})", valid()));
+        }
+        out.push(scheme);
+    }
+    if out.is_empty() {
+        return Err(format!("--schemes is empty (valid: {})", valid()));
+    }
+    Ok(Some(out))
+}
+
 /// Like [`parse_jobs_args`] over the process argv, exiting with the
 /// error on stderr (status 2) instead of returning it — the same
 /// contract as `scale_from_args`.
@@ -178,6 +208,21 @@ mod tests {
         assert_eq!(strict_flag(&argv(&["run", "--faults"]), "--faults"), Ok(true));
         let err = strict_flag(&argv(&["run", "--faults", "--faults"]), "--faults").unwrap_err();
         assert!(err.contains("more than once"), "{err}");
+    }
+
+    #[test]
+    fn schemes_flag_validation() {
+        use grp_core::Scheme;
+        assert_eq!(parse_schemes_args(&argv(&["run"])), Ok(None));
+        assert_eq!(
+            parse_schemes_args(&argv(&["run", "--schemes", "none, SRP,GRP/Var"])),
+            Ok(Some(vec![Scheme::NoPrefetch, Scheme::Srp, Scheme::GrpVar]))
+        );
+        let err = parse_schemes_args(&argv(&["run", "--schemes", "none,SPR"])).unwrap_err();
+        assert!(err.contains("SPR"), "{err}");
+        assert!(err.contains("GRP/Var"), "error lists valid labels: {err}");
+        let err = parse_schemes_args(&argv(&["run", "--schemes", "SRP,SRP"])).unwrap_err();
+        assert!(err.contains("twice"), "{err}");
     }
 
     #[test]

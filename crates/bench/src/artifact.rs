@@ -2,23 +2,45 @@
 //!
 //! Every file the harness emits (perf trajectories, lifecycle traces,
 //! metrics, `--json` dumps) goes through [`atomic_write`]: the bytes
-//! land in a `<path>.tmp` sibling first and are renamed into place.
-//! A process killed mid-write can therefore never leave a truncated
-//! artifact at the final path — readers (and the binaries' `--check`
-//! modes) see either the previous complete file or the new complete
-//! file, with at worst an orphaned `.tmp` left to overwrite next run.
+//! land in a uniquely-named temp sibling first, are flushed to stable
+//! storage (`sync_all`), and are renamed into place. A process killed
+//! mid-write can therefore never leave a truncated artifact at the
+//! final path — readers (and the binaries' `--check` modes) see either
+//! the previous complete file or the new complete file.
+//!
+//! Two crash-safety holes the original `<path>.tmp` staging had, both
+//! closed here:
+//!
+//! * every writer staged into the **same** sibling name, so two
+//!   concurrent workers writing one artifact interleaved their staged
+//!   bytes and the survivor renamed a corrupted file into place — the
+//!   temp name now carries the pid plus a per-process counter, so
+//!   concurrent writers stage independently and last-rename-wins with
+//!   each candidate complete;
+//! * the staged bytes were never fsynced, so a power loss shortly
+//!   after the rename could surface an empty (or partial) file even
+//!   though the rename itself had landed — the temp file is now
+//!   `sync_all`ed before the rename.
+//!
+//! A crash can still orphan a uniquely-named `.tmp` sibling; orphans
+//! are inert (never renamed, never read) and safe to delete.
 
 use std::fs;
+use std::io::Write as _;
 use std::io;
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
 
-/// Writes `contents` to `path` via write-temp-then-rename, creating
-/// parent directories as needed.
+/// Writes `contents` to `path` via write-temp-fsync-rename, creating
+/// parent directories as needed. Safe to call concurrently for the
+/// same path: each writer stages into its own temp file, and the final
+/// path always holds one writer's complete bytes.
 ///
 /// # Errors
 ///
-/// Any I/O error from directory creation, the temp write, or the
-/// rename; on error the final path is untouched.
+/// Any I/O error from directory creation, the temp write/sync, or the
+/// rename; on error the final path is untouched and the temp file is
+/// cleaned up.
 pub fn atomic_write(path: impl AsRef<Path>, contents: impl AsRef<[u8]>) -> io::Result<()> {
     let path = path.as_ref();
     if let Some(dir) = path.parent() {
@@ -26,15 +48,32 @@ pub fn atomic_write(path: impl AsRef<Path>, contents: impl AsRef<[u8]>) -> io::R
             fs::create_dir_all(dir)?;
         }
     }
-    let tmp = tmp_path(path);
-    fs::write(&tmp, contents)?;
-    fs::rename(&tmp, path)
+    let tmp = unique_tmp_path(path);
+    let staged = (|| -> io::Result<()> {
+        let mut f = fs::File::create(&tmp)?;
+        f.write_all(contents.as_ref())?;
+        // Flush to stable storage *before* the rename: without this, a
+        // power loss after the (metadata-only) rename commits can
+        // surface a zero-length file at the final path.
+        f.sync_all()
+    })();
+    if let Err(e) = staged {
+        let _ = fs::remove_file(&tmp);
+        return Err(e);
+    }
+    fs::rename(&tmp, path).inspect_err(|_| {
+        let _ = fs::remove_file(&tmp);
+    })
 }
 
-/// The temp sibling `atomic_write` stages into: `<path>.tmp`.
-pub fn tmp_path(path: &Path) -> PathBuf {
+/// A temp sibling unique to this write: `<path>.<pid>.<counter>.tmp`.
+/// The pid separates concurrent processes; the per-process counter
+/// separates concurrent threads (and reuses nothing within a process).
+pub fn unique_tmp_path(path: &Path) -> PathBuf {
+    static COUNTER: AtomicU64 = AtomicU64::new(0);
+    let n = COUNTER.fetch_add(1, Ordering::Relaxed);
     let mut tmp = path.as_os_str().to_owned();
-    tmp.push(".tmp");
+    tmp.push(format!(".{}.{n}.tmp", std::process::id()));
     PathBuf::from(tmp)
 }
 
@@ -48,17 +87,45 @@ mod tests {
         dir
     }
 
+    /// Orphaned `.tmp` siblings of `path` left in its directory.
+    fn orphans(path: &Path) -> Vec<PathBuf> {
+        let dir = path.parent().unwrap();
+        fs::read_dir(dir)
+            .map(|rd| {
+                rd.filter_map(|e| e.ok().map(|e| e.path()))
+                    .filter(|p| p.to_string_lossy().ends_with(".tmp"))
+                    .collect()
+            })
+            .unwrap_or_default()
+    }
+
     #[test]
     fn writes_land_complete_and_leave_no_temp() {
         let dir = scratch("basic");
         let path = dir.join("nested/out.json");
         atomic_write(&path, "{\"v\":1}").expect("atomic write");
         assert_eq!(fs::read_to_string(&path).unwrap(), "{\"v\":1}");
-        assert!(!tmp_path(&path).exists(), "temp file renamed away");
+        assert!(orphans(&path).is_empty(), "temp file renamed away");
         // Overwrite keeps the same guarantees.
         atomic_write(&path, "{\"v\":2}").expect("overwrite");
         assert_eq!(fs::read_to_string(&path).unwrap(), "{\"v\":2}");
+        assert!(orphans(&path).is_empty());
         let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn temp_names_are_unique_per_write() {
+        // Regression: every writer used to stage into the same
+        // `<path>.tmp`, so two concurrent writers interleaved staged
+        // bytes. Unique names make concurrent staging independent.
+        let p = Path::new("/x/out.json");
+        let a = unique_tmp_path(p);
+        let b = unique_tmp_path(p);
+        assert_ne!(a, b, "two writes never share a temp file");
+        let a = a.to_string_lossy();
+        assert!(a.starts_with("/x/out.json."), "{a}");
+        assert!(a.ends_with(".tmp"), "{a}");
+        assert!(a.contains(&std::process::id().to_string()), "{a}");
     }
 
     #[test]
@@ -68,16 +135,52 @@ mod tests {
         let dir = scratch("interrupted");
         let path = dir.join("out.json");
         atomic_write(&path, "old-complete").expect("first write");
-        fs::write(tmp_path(&path), "new-but-trunc").expect("stage temp");
+        fs::write(unique_tmp_path(&path), "new-but-trunc").expect("stage temp");
         assert_eq!(
             fs::read_to_string(&path).unwrap(),
             "old-complete",
             "final path never observes the staged temp"
         );
-        // The next atomic_write simply overwrites the orphan.
+        // Later atomic_writes are oblivious to the orphan.
         atomic_write(&path, "new-complete").expect("recover");
         assert_eq!(fs::read_to_string(&path).unwrap(), "new-complete");
-        assert!(!tmp_path(&path).exists());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn concurrent_same_path_writers_never_interleave() {
+        // Two threads hammering one artifact path: whatever write wins,
+        // the final file must be exactly one thread's complete payload
+        // — never a byte-interleave of both stagings.
+        let dir = scratch("stress");
+        let path = dir.join("out.json");
+        let payload = |t: usize, i: usize| {
+            // Distinct lengths and contents per writer so an interleave
+            // or truncation cannot masquerade as a valid payload.
+            format!("writer-{t}:").repeat(50 + t * 17 + i % 3)
+        };
+        const ITERS: usize = 40;
+        std::thread::scope(|s| {
+            for t in 0..2 {
+                let path = &path;
+                let payload = &payload;
+                s.spawn(move || {
+                    for i in 0..ITERS {
+                        atomic_write(path, payload(t, i)).expect("concurrent write");
+                    }
+                });
+            }
+        });
+        let got = fs::read_to_string(&path).expect("file exists");
+        let valid: Vec<String> = (0..2)
+            .flat_map(|t| (0..ITERS).map(move |i| payload(t, i)))
+            .collect();
+        assert!(
+            valid.contains(&got),
+            "final contents must be one writer's complete payload (len {})",
+            got.len()
+        );
+        assert!(orphans(&path).is_empty(), "no temp files left behind");
         let _ = fs::remove_dir_all(&dir);
     }
 }

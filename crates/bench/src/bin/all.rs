@@ -20,26 +20,16 @@ fn main() {
     let jobs = grp_bench::args::jobs_from_args();
     let mut suite = Suite::new(scale).verbose();
     println!("GRP reproduction — full evaluation at {scale:?} scale\n");
-    // Warm the memo table in parallel: one worker per benchmark unless
-    // --jobs / GRP_JOBS caps the pool.
-    suite.precompute_jobs(
-        &suite.all_names(),
-        &[
-            grp_core::Scheme::NoPrefetch,
-            grp_core::Scheme::Stride,
-            grp_core::Scheme::Srp,
-            grp_core::Scheme::GrpFix,
-            grp_core::Scheme::GrpVar,
-            grp_core::Scheme::HwPointer,
-            grp_core::Scheme::GrpPointer,
-            grp_core::Scheme::GrpAggressive,
-            grp_core::Scheme::SrpPointer,
-            grp_core::Scheme::GrpConservative,
-            grp_core::Scheme::PerfectL1,
-            grp_core::Scheme::PerfectL2,
-        ],
-        jobs,
-    );
+    // Warm the memo table through the work-stealing cell scheduler:
+    // every (benchmark, scheme) cell is an independent unit of work, so
+    // a slow benchmark no longer serializes its remaining schemes
+    // behind one worker. --jobs / GRP_JOBS caps the pool.
+    suite
+        .precompute_cells(&suite.all_names(), &Scheme::ALL, jobs)
+        .unwrap_or_else(|e| {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        });
     println!("{}", experiments::figure1(&mut suite));
     let (_, t1) = experiments::table1(&mut suite);
     println!("{t1}");

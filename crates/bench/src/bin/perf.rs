@@ -9,24 +9,39 @@
 //!     [--out <path>]        trajectory file (default BENCH_perf.json)
 //!     [--schemes <csv>]     scheme labels (default none,stride,SRP,GRP/Var)
 //!     [--no-write]          print the table, skip the JSON append
+//! cargo run --release -p grp-bench --bin perf -- --fleet --scale small
+//!     [--jobs N]            worker count (default: available parallelism)
+//!     [--schemes <csv>]     scheme labels (default: all 12 — the full grid)
+//!     [--stream-out <path>] stream per-cell rows to an artifact as
+//!                           cells complete (crash leaves a valid partial)
+//!     shard the kernel × scheme grid across workers at cell granularity
+//!     via the work-stealing scheduler and append a fleet-shaped entry
 //! cargo run -p grp-bench --bin perf -- --check <path>
-//!     validate an existing trajectory file and exit
+//!     validate an existing trajectory file (both entry shapes) and exit
 //! ```
 //!
 //! Per (kernel × scheme) the harness builds the workload, derives the
 //! scheme's hinted trace (setup, untimed in the headline metric), then
 //! times `run_trace` alone — the trace-replay inner loop that bounds
 //! every sweep — reporting trace events/sec and simulated cycles/sec.
+//! Fleet mode reports the same per-cell columns plus aggregate fleet
+//! throughput (total events per *wall* second across all workers),
+//! per-worker utilization, and queue-wait percentiles.
 
 use std::time::Instant;
 
+use grp_bench::args::{jobs_from_args, parse_schemes_args};
 use grp_bench::json::Json;
+use grp_bench::obs_export::flag_value;
+use grp_bench::sched::{self, WorkloadCache};
 use grp_bench::suite::scale_from_args;
+use grp_bench::traj;
 use grp_core::{run_trace, Scheme};
 use grp_workloads::all;
 
-/// Default scheme set: one representative of each engine hot path
-/// (no engine, stride stream buffers, hint-blind regions, full GRP).
+/// Default serial scheme set: one representative of each engine hot
+/// path (no engine, stride stream buffers, hint-blind regions, full
+/// GRP). Fleet mode defaults to the full 12-scheme grid instead.
 const DEFAULT_SCHEMES: [Scheme; 4] = [
     Scheme::NoPrefetch,
     Scheme::Stride,
@@ -34,20 +49,13 @@ const DEFAULT_SCHEMES: [Scheme; 4] = [
     Scheme::GrpVar,
 ];
 
-fn arg_value(args: &[String], flag: &str) -> Option<String> {
-    grp_bench::obs_export::flag_value(args, flag)
-}
-
-fn scheme_by_label(label: &str) -> Option<Scheme> {
-    Scheme::ALL.into_iter().find(|s| s.label() == label)
-}
-
 struct KernelRow {
     bench: &'static str,
     scheme: Scheme,
     events: u64,
     sim_cycles: u64,
     replay_seconds: f64,
+    worker: Option<usize>,
 }
 
 impl KernelRow {
@@ -58,13 +66,44 @@ impl KernelRow {
     fn cycles_per_sec(&self) -> f64 {
         self.sim_cycles as f64 / self.replay_seconds.max(1e-9)
     }
+
+    fn json(&self) -> Json {
+        let mut j = Json::object()
+            .set("bench", self.bench)
+            .set("scheme", self.scheme.label())
+            .set("events", self.events)
+            .set("sim_cycles", self.sim_cycles)
+            .set("replay_seconds", self.replay_seconds)
+            .set("events_per_sec", self.events_per_sec())
+            .set("sim_cycles_per_sec", self.cycles_per_sec());
+        if let Some(w) = self.worker {
+            j = j.set("worker", w as u64);
+        }
+        j
+    }
+
+    fn print(&self) {
+        println!(
+            "{:<10} {:<9} {:>12} {:>14} {:>10.3} {:>12.0}{}",
+            self.bench,
+            self.scheme.label(),
+            self.events,
+            self.sim_cycles,
+            self.replay_seconds,
+            self.events_per_sec(),
+            match self.worker {
+                Some(w) => format!(" {w:>3}"),
+                None => String::new(),
+            }
+        );
+    }
 }
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
 
-    if let Some(path) = arg_value(&args, "--check") {
-        match check_trajectory(&path) {
+    if let Some(path) = flag_value(&args, "--check") {
+        match traj::check_trajectory(&path) {
             Ok(n) => {
                 println!("{path}: OK ({n} entries)");
             }
@@ -76,37 +115,59 @@ fn main() {
         return;
     }
 
+    let fleet = grp_bench::args::strict_flag(&args, "--fleet").unwrap_or_else(|e| {
+        eprintln!("error: {e}");
+        std::process::exit(2);
+    });
     let scale = scale_from_args();
-    let label = arg_value(&args, "--label").unwrap_or_else(|| "current".to_string());
-    let out = arg_value(&args, "--out").unwrap_or_else(|| "BENCH_perf.json".to_string());
-    let schemes: Vec<Scheme> = match arg_value(&args, "--schemes") {
-        Some(csv) => csv
-            .split(',')
-            .map(|s| {
-                scheme_by_label(s.trim()).unwrap_or_else(|| {
-                    eprintln!(
-                        "error: unknown scheme '{}' (valid: {})",
-                        s.trim(),
-                        Scheme::ALL.map(|x| x.label()).join(", ")
-                    );
-                    std::process::exit(2);
-                })
-            })
-            .collect(),
-        None => DEFAULT_SCHEMES.to_vec(),
-    };
+    let label = flag_value(&args, "--label")
+        .unwrap_or_else(|| if fleet { "fleet".to_string() } else { "current".to_string() });
+    let out = flag_value(&args, "--out").unwrap_or_else(|| "BENCH_perf.json".to_string());
+    let schemes: Vec<Scheme> = parse_schemes_args(&args)
+        .unwrap_or_else(|e| {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        })
+        .unwrap_or_else(|| {
+            if fleet {
+                Scheme::ALL.to_vec()
+            } else {
+                DEFAULT_SCHEMES.to_vec()
+            }
+        });
     let write = !args.iter().any(|a| a == "--no-write");
 
     println!(
-        "GRP perf harness — {:?} scale, schemes: {}",
+        "GRP perf harness — {:?} scale, {} schemes: {}",
         scale,
+        if fleet { "fleet mode," } else { "serial," },
         schemes.iter().map(|s| s.label()).collect::<Vec<_>>().join(", ")
     );
     println!(
-        "{:<10} {:<9} {:>12} {:>14} {:>10} {:>12}",
-        "bench", "scheme", "events", "sim cycles", "replay s", "events/s"
+        "{:<10} {:<9} {:>12} {:>14} {:>10} {:>12}{}",
+        "bench", "scheme", "events", "sim cycles", "replay s", "events/s",
+        if fleet { "   w" } else { "" }
     );
 
+    let entry = if fleet {
+        run_fleet(scale, &label, &schemes, &args)
+    } else {
+        run_serial(scale, &label, &schemes)
+    };
+
+    if !write {
+        return;
+    }
+    traj::append_entry(&out, entry).unwrap_or_else(|e| {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    });
+    println!("appended entry '{label}' to {out}");
+}
+
+/// The original single-thread harness: build → trace → timed replay,
+/// one cell at a time, on the calling thread.
+fn run_serial(scale: grp_bench::SuiteScale, label: &str, schemes: &[Scheme]) -> Json {
     let wall_start = Instant::now();
     let cfg = grp_core::SimConfig::paper();
     let mut rows: Vec<KernelRow> = Vec::new();
@@ -115,30 +176,22 @@ fn main() {
         let t0 = Instant::now();
         let built = w.build(scale.workload_scale());
         setup_seconds += t0.elapsed().as_secs_f64();
-        for &scheme in &schemes {
+        for &scheme in schemes {
             let t1 = Instant::now();
             let cc = scheme.compiler_config();
             let (trace, mem) = built.trace(cc.as_ref());
             setup_seconds += t1.elapsed().as_secs_f64();
             let t2 = Instant::now();
             let result = run_trace(&trace, &mem, built.heap, scheme, &cfg);
-            let replay_seconds = t2.elapsed().as_secs_f64();
             let row = KernelRow {
                 bench: w.name,
                 scheme,
                 events: trace.events().len() as u64,
                 sim_cycles: result.cycles,
-                replay_seconds,
+                replay_seconds: t2.elapsed().as_secs_f64(),
+                worker: None,
             };
-            println!(
-                "{:<10} {:<9} {:>12} {:>14} {:>10.3} {:>12.0}",
-                row.bench,
-                row.scheme.label(),
-                row.events,
-                row.sim_cycles,
-                row.replay_seconds,
-                row.events_per_sec()
-            );
+            row.print();
             rows.push(row);
         }
     }
@@ -155,12 +208,8 @@ fn main() {
     );
     println!("throughput: {events_per_sec:.0} events/s, {cycles_per_sec:.0} simulated cycles/s");
 
-    if !write {
-        return;
-    }
-
-    let entry = Json::object()
-        .set("label", label.as_str())
+    Json::object()
+        .set("label", label)
         .set("scale", format!("{scale:?}").to_lowercase())
         .set(
             "schemes",
@@ -173,93 +222,109 @@ fn main() {
         .set("sim_cycles", sim_cycles)
         .set("events_per_sec", events_per_sec)
         .set("sim_cycles_per_sec", cycles_per_sec)
-        .set(
-            "kernels",
-            Json::Array(
-                rows.iter()
-                    .map(|r| {
-                        Json::object()
-                            .set("bench", r.bench)
-                            .set("scheme", r.scheme.label())
-                            .set("events", r.events)
-                            .set("sim_cycles", r.sim_cycles)
-                            .set("replay_seconds", r.replay_seconds)
-                            .set("events_per_sec", r.events_per_sec())
-                            .set("sim_cycles_per_sec", r.cycles_per_sec())
-                    })
-                    .collect(),
-            ),
-        );
-
-    let mut entries = match std::fs::read_to_string(&out) {
-        Ok(text) => match Json::parse(&text) {
-            Ok(doc) => doc
-                .get("entries")
-                .and_then(|e| e.as_array())
-                .map(|a| a.to_vec())
-                .unwrap_or_else(|| {
-                    eprintln!("error: {out} exists but has no 'entries' array");
-                    std::process::exit(1);
-                }),
-            Err(e) => {
-                eprintln!("error: {out} is not valid JSON ({e}); refusing to overwrite");
-                std::process::exit(1);
-            }
-        },
-        Err(_) => Vec::new(),
-    };
-    entries.push(entry);
-    let doc = Json::object().set("version", 1u64).set("entries", Json::Array(entries));
-    // Atomic append: stage + rename, so a kill mid-write can't truncate
-    // the recorded trajectory.
-    grp_bench::artifact::atomic_write(&out, doc.render()).unwrap_or_else(|e| {
-        eprintln!("error: cannot write {out}: {e}");
-        std::process::exit(1);
-    });
-    println!("appended entry '{label}' to {out}");
+        .set("kernels", Json::Array(rows.iter().map(|r| r.json()).collect()))
 }
 
-/// Validates a trajectory file's structure, returning the entry count.
-fn check_trajectory(path: &str) -> Result<usize, String> {
-    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read: {e}"))?;
-    let doc = Json::parse(&text).map_err(|e| format!("malformed: {e}"))?;
-    let entries = doc
-        .get("entries")
-        .and_then(|e| e.as_array())
-        .ok_or("missing 'entries' array")?;
-    if entries.is_empty() {
-        return Err("no entries recorded".to_string());
-    }
-    for (i, e) in entries.iter().enumerate() {
-        for key in ["label", "scale"] {
-            e.get(key)
-                .and_then(|v| v.as_str())
-                .ok_or(format!("entry {i}: missing string '{key}'"))?;
-        }
-        for key in ["events_per_sec", "sim_cycles_per_sec", "replay_seconds"] {
-            let v = e
-                .get(key)
-                .and_then(|v| v.as_f64())
-                .ok_or(format!("entry {i}: missing number '{key}'"))?;
-            if !v.is_finite() || v <= 0.0 {
-                return Err(format!("entry {i}: '{key}' is not positive"));
+/// Fleet mode: shard the kernel × scheme grid across workers through
+/// the work-stealing cell scheduler, streaming rows (and optionally a
+/// partial-results artifact) as cells complete.
+fn run_fleet(
+    scale: grp_bench::SuiteScale,
+    label: &str,
+    schemes: &[Scheme],
+    args: &[String],
+) -> Json {
+    let workers = jobs_from_args().unwrap_or_else(|| {
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4)
+    });
+    let stream_out = flag_value(args, "--stream-out");
+    let names: Vec<&'static str> = all().iter().map(|w| w.name).collect();
+    let cfg = grp_core::SimConfig::paper();
+    let jobs = sched::grid_jobs(&names, schemes, scale.workload_scale(), cfg);
+    let total = jobs.len();
+    let cache = WorkloadCache::new();
+
+    let mut rows: Vec<KernelRow> = Vec::new();
+    let mut failures: Vec<String> = Vec::new();
+    let stats = sched::run_cells(&jobs, workers, &cache, |cell| {
+        match &cell.outcome {
+            Ok(r) => {
+                let row = KernelRow {
+                    bench: cell.kernel,
+                    scheme: cell.scheme,
+                    events: cell.events,
+                    sim_cycles: r.cycles,
+                    replay_seconds: cell.replay_seconds,
+                    worker: Some(cell.worker),
+                };
+                row.print();
+                rows.push(row);
             }
+            Err(e) => failures.push(format!("{}/{}: {e}", cell.kernel, cell.scheme)),
         }
-        let kernels = e
-            .get("kernels")
-            .and_then(|k| k.as_array())
-            .ok_or(format!("entry {i}: missing 'kernels' array"))?;
-        for (j, k) in kernels.iter().enumerate() {
-            k.get("bench")
-                .and_then(|v| v.as_str())
-                .ok_or(format!("entry {i} kernel {j}: missing 'bench'"))?;
-            k.get("scheme")
-                .and_then(|v| v.as_str())
-                .ok_or(format!("entry {i} kernel {j}: missing 'scheme'"))?;
-            k.get("events_per_sec")
-                .and_then(|v| v.as_f64())
-                .ok_or(format!("entry {i} kernel {j}: missing 'events_per_sec'"))?;
+        // Stream the partial grid through the atomic-write layer: a
+        // crash mid-run leaves a complete, parseable prefix artifact
+        // rather than nothing (or a torn file) at end-of-run.
+        if let Some(path) = &stream_out {
+            let doc = Json::object()
+                .set("complete", rows.len() as u64)
+                .set("total", total as u64)
+                .set("cells", Json::Array(rows.iter().map(|r| r.json()).collect()));
+            grp_bench::artifact::atomic_write(path, doc.render()).unwrap_or_else(|e| {
+                eprintln!("error: cannot stream to {path}: {e}");
+                std::process::exit(1);
+            });
         }
+    });
+    if !failures.is_empty() {
+        eprintln!("error: {} cell(s) failed: {}", failures.len(), failures.join("; "));
+        std::process::exit(1);
     }
-    Ok(entries.len())
+
+    let q = &stats.queue_wait_micros;
+    println!(
+        "\nfleet: {} cells on {} workers in {:.3}s wall ({} steals, {} built workloads)",
+        stats.cells,
+        stats.workers,
+        stats.wall_seconds,
+        stats.steals,
+        cache.built_count(),
+    );
+    for w in 0..stats.workers {
+        println!(
+            "  worker {w}: {} cells, {:.3}s busy, {:.0}% utilized",
+            stats.cells_per_worker[w],
+            stats.busy_seconds[w],
+            100.0 * stats.utilization(w)
+        );
+    }
+    println!(
+        "queue wait: p50={}us p90={}us p99={}us max={}us",
+        q.percentile(0.50),
+        q.percentile(0.90),
+        q.percentile(0.99),
+        q.max()
+    );
+    println!(
+        "aggregate: {:.0} events/s across the fleet ({:.0} events/s per busy replay second)",
+        stats.events_per_sec(),
+        stats.events as f64 / stats.replay_seconds.max(1e-9),
+    );
+
+    let scheme_labels: Vec<&str> = schemes.iter().map(|s| s.label()).collect();
+    // Sort rows grid-order for a byte-stable artifact regardless of
+    // completion order (the streamed partials stay completion-ordered).
+    rows.sort_by_key(|r| {
+        (
+            names.iter().position(|n| *n == r.bench).unwrap_or(usize::MAX),
+            schemes.iter().position(|s| *s == r.scheme).unwrap_or(usize::MAX),
+        )
+    });
+    traj::fleet_entry(
+        label,
+        &format!("{scale:?}").to_lowercase(),
+        &scheme_labels,
+        &stats,
+        rows.iter().map(|r| r.json()).collect(),
+    )
 }

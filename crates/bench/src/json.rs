@@ -116,6 +116,25 @@ impl Json {
         }
     }
 
+    /// Boolean value; `None` on other variants.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The key/value fields of an object, in document order; `None` on
+    /// other variants. The serve protocol walks this to reject
+    /// requests carrying unknown keys instead of silently ignoring a
+    /// typo'd field.
+    pub fn entries(&self) -> Option<&[(String, Json)]> {
+        match self {
+            Json::Object(fields) => Some(fields),
+            _ => None,
+        }
+    }
+
     /// Adds a field to an object; panics on non-objects.
     ///
     /// # Panics
@@ -577,5 +596,15 @@ mod tests {
         assert_eq!(Json::Str("3".into()).as_u64(), None);
         assert_eq!(Json::Int(-1).as_u64(), None);
         assert_eq!(Json::UInt(9).as_f64(), Some(9.0));
+        assert_eq!(Json::Bool(true).as_bool(), Some(true));
+        assert_eq!(Json::UInt(1).as_bool(), None);
+        assert_eq!(Json::Array(vec![]).entries(), None);
+    }
+
+    #[test]
+    fn object_entries_walk_in_document_order() {
+        let j = Json::parse(r#"{"b":1,"a":2}"#).unwrap();
+        let keys: Vec<&str> = j.entries().unwrap().iter().map(|(k, _)| k.as_str()).collect();
+        assert_eq!(keys, ["b", "a"]);
     }
 }

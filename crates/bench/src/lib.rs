@@ -18,6 +18,8 @@ pub mod fuzz;
 pub mod json;
 pub mod obs_export;
 pub mod report;
+pub mod sched;
 pub mod suite;
+pub mod traj;
 
 pub use suite::{Suite, SuiteScale};

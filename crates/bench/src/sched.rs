@@ -1,0 +1,519 @@
+//! Work-stealing cell scheduler: shards `(kernel, scheme, config)`
+//! simulation *cells* across OS threads.
+//!
+//! `Suite::precompute` parallelizes per **kernel** — one worker builds a
+//! kernel and then replays every scheme serially, so the replay phase of
+//! a wide grid is bounded by the heaviest kernel's whole scheme row
+//! (bzip2 alone is a third of the small-scale replay wall). Here the
+//! unit of work is one cell: a single `(kernel, scheme)` simulation.
+//!
+//! * Built workloads are shared **read-only** between workers through
+//!   [`WorkloadCache`] (`Arc<BuiltWorkload>` keyed by `(kernel, scale)`),
+//!   so two schemes of the same kernel never rebuild — whichever worker
+//!   gets there first builds, everyone else waits on that one build.
+//! * Cells are ordered **largest-first** by a static cost model
+//!   ([`cell_weight`], calibrated against the recorded BENCH_perf.json
+//!   per-cell replay times) and dealt round-robin into per-worker
+//!   deques; an idle worker steals from the *back* of a victim's deque,
+//!   so big early cells stay with their owner and stragglers spread out.
+//! * Results stream to the caller **as cells complete** over a channel
+//!   (`on_complete` runs on the calling thread), so artifacts can be
+//!   written incrementally instead of at end-of-run.
+//!
+//! Determinism: scheduling order and steal order are timing-dependent,
+//! but every cell is an independent, internally-deterministic
+//! simulation over its own `Memory` clone — per-cell `RunResult`s are
+//! bit-identical to the serial path for any worker count and any steal
+//! interleaving. `crates/bench/tests/fleet.rs` enforces this over the
+//! full 18×12 grid.
+
+use std::collections::{HashMap, VecDeque};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Mutex, OnceLock};
+use std::time::Instant;
+
+use grp_core::{run_trace, LatencyHist, RunResult, Scheme, SimConfig};
+use grp_workloads::{BuiltWorkload, Scale};
+
+/// One schedulable unit: a single `(kernel, scheme, config)` simulation.
+#[derive(Debug, Clone, Copy)]
+pub struct CellJob {
+    /// Caller's correlation id, echoed in [`CellResult::id`] (the serve
+    /// protocol uses it to match replies to requests).
+    pub id: u64,
+    /// Registry kernel name (`"bzip2"`, …). Unknown names surface as an
+    /// `Err` outcome for this cell only, never a panic.
+    pub kernel: &'static str,
+    /// The scheme to replay.
+    pub scheme: Scheme,
+    /// Problem size; part of the workload-cache key.
+    pub scale: Scale,
+    /// Platform configuration for the timing simulation.
+    pub cfg: SimConfig,
+}
+
+/// A completed cell, streamed to `on_complete` in completion order.
+#[derive(Debug, Clone)]
+pub struct CellResult {
+    /// [`CellJob::id`], echoed.
+    pub id: u64,
+    /// Kernel name, echoed.
+    pub kernel: &'static str,
+    /// Scheme, echoed.
+    pub scheme: Scheme,
+    /// Scale, echoed.
+    pub scale: Scale,
+    /// The simulation result, or why this cell failed (unknown kernel,
+    /// or a panic inside build/trace/replay). One poisoned cell never
+    /// takes down the fleet.
+    pub outcome: Result<RunResult, String>,
+    /// Trace events replayed (0 on error).
+    pub events: u64,
+    /// Seconds spent building/tracing before replay (includes the
+    /// workload build only for the worker that actually built it).
+    pub setup_seconds: f64,
+    /// Seconds spent in `run_trace` alone — the comparable unit to the
+    /// serial perf harness's replay column.
+    pub replay_seconds: f64,
+    /// Microseconds the cell waited from scheduler start to pickup.
+    pub queue_micros: u64,
+    /// Index of the worker that ran the cell.
+    pub worker: usize,
+}
+
+/// Aggregate accounting for one [`run_cells`] invocation.
+#[derive(Debug, Clone)]
+pub struct FleetStats {
+    /// Workers spawned.
+    pub workers: usize,
+    /// Cells completed (success + error).
+    pub cells: usize,
+    /// Cells whose outcome was `Err`.
+    pub errors: usize,
+    /// Wall-clock seconds from scheduler start to last cell done.
+    pub wall_seconds: f64,
+    /// Total trace events replayed across all cells.
+    pub events: u64,
+    /// Total simulated cycles across all cells.
+    pub sim_cycles: u64,
+    /// Sum of per-cell replay seconds (aggregate busy replay time).
+    pub replay_seconds: f64,
+    /// Sum of per-cell setup seconds (builds + hint derivation).
+    pub setup_seconds: f64,
+    /// Per-worker busy seconds (time executing cells, not idle/steal).
+    pub busy_seconds: Vec<f64>,
+    /// Per-worker completed-cell counts.
+    pub cells_per_worker: Vec<usize>,
+    /// Cells a worker took from another worker's deque.
+    pub steals: u64,
+    /// Queue-wait distribution (microseconds from scheduler start to
+    /// cell pickup), reusing the observer layer's power-of-two
+    /// histogram so percentiles come from the same machinery as the
+    /// epoch sampler's latency accounting.
+    pub queue_wait_micros: LatencyHist,
+}
+
+impl FleetStats {
+    /// Aggregate fleet throughput: trace events replayed per wall
+    /// second across all workers (the "millions of users" headline).
+    pub fn events_per_sec(&self) -> f64 {
+        self.events as f64 / self.wall_seconds.max(1e-9)
+    }
+
+    /// Aggregate simulated cycles per wall second.
+    pub fn sim_cycles_per_sec(&self) -> f64 {
+        self.sim_cycles as f64 / self.wall_seconds.max(1e-9)
+    }
+
+    /// Worker `w`'s busy fraction of the wall clock.
+    pub fn utilization(&self, w: usize) -> f64 {
+        (self.busy_seconds[w] / self.wall_seconds.max(1e-9)).min(1.0)
+    }
+}
+
+/// Built workloads shared read-only across workers (and, in server
+/// mode, across request batches), keyed by `(kernel, scale)`.
+///
+/// Each slot is a [`OnceLock`]: the first worker to need a workload
+/// builds it, concurrent requesters block on that one build instead of
+/// duplicating it, and every user gets the same `Arc`.
+#[derive(Debug, Default)]
+pub struct WorkloadCache {
+    map: Mutex<HashMap<(&'static str, Scale), Arc<OnceLock<Arc<BuiltWorkload>>>>>,
+}
+
+impl WorkloadCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The built workload for `(kernel, scale)`, building it exactly
+    /// once on first use.
+    ///
+    /// # Errors
+    ///
+    /// Names the unknown kernel when it is not in the registry.
+    pub fn get_or_build(&self, kernel: &str, scale: Scale) -> Result<Arc<BuiltWorkload>, String> {
+        let w = grp_workloads::by_name(kernel)
+            .ok_or_else(|| format!("unknown workload '{kernel}' (valid: registry names, e.g. gzip, mcf, bzip2)"))?;
+        let slot = self
+            .map
+            .lock()
+            .expect("workload cache")
+            .entry((w.name, scale))
+            .or_default()
+            .clone();
+        Ok(slot.get_or_init(|| Arc::new(w.build(scale))).clone())
+    }
+
+    /// The cached workload, if already built (never builds).
+    pub fn get(&self, kernel: &str, scale: Scale) -> Option<Arc<BuiltWorkload>> {
+        let w = grp_workloads::by_name(kernel)?;
+        self.map
+            .lock()
+            .expect("workload cache")
+            .get(&(w.name, scale))
+            .and_then(|slot| slot.get().cloned())
+    }
+
+    /// Seeds the cache with an already-built workload (e.g. from a
+    /// suite's memo table). A previously-built entry wins: the cache
+    /// never swaps a workload out from under readers.
+    pub fn insert(&self, kernel: &'static str, scale: Scale, built: Arc<BuiltWorkload>) {
+        let slot = self
+            .map
+            .lock()
+            .expect("workload cache")
+            .entry((kernel, scale))
+            .or_default()
+            .clone();
+        let _ = slot.set(built);
+    }
+
+    /// Number of built workloads resident.
+    pub fn built_count(&self) -> usize {
+        self.map
+            .lock()
+            .expect("workload cache")
+            .values()
+            .filter(|slot| slot.get().is_some())
+            .count()
+    }
+}
+
+/// Static relative cost of one cell, calibrated against the recorded
+/// per-cell replay seconds in `BENCH_perf.json` (bzip2 alone is ~33% of
+/// the small-scale replay wall; SRP-class schemes replay ~6× slower
+/// than the no-prefetch baseline). Only *load balance* depends on this
+/// — results never do — so a stale table degrades tail latency, not
+/// correctness.
+pub fn cell_weight(kernel: &str, scheme: Scheme) -> u64 {
+    let k: u64 = match kernel {
+        "bzip2" => 33,
+        "swim" => 13,
+        "applu" => 9,
+        "art" => 7,
+        "crafty" => 7,
+        "apsi" => 6,
+        "gzip" => 5,
+        "mesa" => 4,
+        "sphinx" => 4,
+        "gap" => 3,
+        "mgrid" => 3,
+        _ => 1,
+    };
+    let s: u64 = match scheme {
+        Scheme::Srp | Scheme::SrpPointer => 12,
+        Scheme::GrpAggressive => 8,
+        Scheme::GrpFix | Scheme::GrpVar | Scheme::GrpConservative => 5,
+        Scheme::HwPointer | Scheme::GrpPointer => 3,
+        Scheme::Stride => 3,
+        Scheme::NoPrefetch => 2,
+        Scheme::PerfectL1 | Scheme::PerfectL2 => 1,
+    };
+    k * s
+}
+
+/// Kernels reordered largest-first (stable: ties keep the caller's
+/// order) — the per-kernel precompute queue drains in this order so the
+/// heaviest builds start first instead of landing last.
+pub fn largest_first(names: &[&'static str]) -> Vec<&'static str> {
+    let mut out = names.to_vec();
+    out.sort_by_key(|n| std::cmp::Reverse(cell_weight(n, Scheme::Srp)));
+    out
+}
+
+/// The full `names × schemes` grid as cell jobs (row-major ids), ready
+/// for [`run_cells`].
+pub fn grid_jobs(
+    names: &[&'static str],
+    schemes: &[Scheme],
+    scale: Scale,
+    cfg: SimConfig,
+) -> Vec<CellJob> {
+    let mut jobs = Vec::with_capacity(names.len() * schemes.len());
+    for (i, &kernel) in names.iter().enumerate() {
+        for (j, &scheme) in schemes.iter().enumerate() {
+            jobs.push(CellJob {
+                id: (i * schemes.len() + j) as u64,
+                kernel,
+                scheme,
+                scale,
+                cfg,
+            });
+        }
+    }
+    jobs
+}
+
+/// Runs every job across `workers` threads with work stealing, calling
+/// `on_complete` on the **calling thread** as each cell finishes
+/// (completion order, not submission order — correlate via
+/// [`CellResult::id`]).
+///
+/// Worker panics inside a cell are caught and surfaced as that cell's
+/// `Err` outcome; the fleet always runs to completion.
+pub fn run_cells<F: FnMut(CellResult)>(
+    jobs: &[CellJob],
+    workers: usize,
+    cache: &WorkloadCache,
+    mut on_complete: F,
+) -> FleetStats {
+    let workers = workers.max(1).min(jobs.len().max(1));
+
+    // Largest-first deal: sort by descending weight (stable, so equal-
+    // weight cells keep submission order), then round-robin so every
+    // worker starts on one of the heaviest remaining cells.
+    let mut ordered: Vec<CellJob> = jobs.to_vec();
+    ordered.sort_by_key(|j| std::cmp::Reverse(cell_weight(j.kernel, j.scheme)));
+    let queues: Vec<Mutex<VecDeque<CellJob>>> =
+        (0..workers).map(|_| Mutex::new(VecDeque::new())).collect();
+    for (i, job) in ordered.into_iter().enumerate() {
+        queues[i % workers].lock().expect("deal").push_back(job);
+    }
+
+    let steals = AtomicU64::new(0);
+    let busy: Vec<Mutex<(f64, usize)>> = (0..workers).map(|_| Mutex::new((0.0, 0))).collect();
+    let start = Instant::now();
+    let (tx, rx) = mpsc::channel::<CellResult>();
+
+    let mut stats = FleetStats {
+        workers,
+        cells: 0,
+        errors: 0,
+        wall_seconds: 0.0,
+        events: 0,
+        sim_cycles: 0,
+        replay_seconds: 0.0,
+        setup_seconds: 0.0,
+        busy_seconds: vec![0.0; workers],
+        cells_per_worker: vec![0; workers],
+        steals: 0,
+        queue_wait_micros: LatencyHist::default(),
+    };
+
+    std::thread::scope(|s| {
+        for me in 0..workers {
+            let tx = tx.clone();
+            let queues = &queues;
+            let busy = &busy;
+            let steals = &steals;
+            let cache_ref = cache;
+            s.spawn(move || loop {
+                // Own deque first (front: biggest still-local cell)…
+                let mut job = queues[me].lock().expect("own deque").pop_front();
+                // …then steal from the back of the first non-empty victim.
+                if job.is_none() {
+                    for off in 1..queues.len() {
+                        let victim = (me + off) % queues.len();
+                        if let Some(j) = queues[victim].lock().expect("victim deque").pop_back() {
+                            steals.fetch_add(1, Ordering::Relaxed);
+                            job = Some(j);
+                            break;
+                        }
+                    }
+                }
+                let Some(job) = job else { return };
+                let queue_micros = start.elapsed().as_micros() as u64;
+                let t0 = Instant::now();
+                let (outcome, events, setup_seconds, replay_seconds) =
+                    execute_cell(&job, cache_ref);
+                {
+                    let mut b = busy[me].lock().expect("busy");
+                    b.0 += t0.elapsed().as_secs_f64();
+                    b.1 += 1;
+                }
+                // The receiver outlives every sender (rx drains below in
+                // this scope); a send failure means the caller vanished.
+                let _ = tx.send(CellResult {
+                    id: job.id,
+                    kernel: job.kernel,
+                    scheme: job.scheme,
+                    scale: job.scale,
+                    outcome,
+                    events,
+                    setup_seconds,
+                    replay_seconds,
+                    queue_micros,
+                    worker: me,
+                });
+            });
+        }
+        drop(tx);
+        // Collector: the calling thread streams completions to the
+        // caller while workers are still running.
+        for r in rx {
+            stats.cells += 1;
+            stats.events += r.events;
+            stats.replay_seconds += r.replay_seconds;
+            stats.setup_seconds += r.setup_seconds;
+            stats.queue_wait_micros.record(r.queue_micros);
+            match &r.outcome {
+                Ok(res) => stats.sim_cycles += res.cycles,
+                Err(_) => stats.errors += 1,
+            }
+            on_complete(r);
+        }
+    });
+
+    stats.wall_seconds = start.elapsed().as_secs_f64();
+    stats.steals = steals.load(Ordering::Relaxed);
+    for (w, b) in busy.iter().enumerate() {
+        let b = b.lock().expect("busy");
+        stats.busy_seconds[w] = b.0;
+        stats.cells_per_worker[w] = b.1;
+    }
+    stats
+}
+
+/// Builds (via the cache), traces, and replays one cell, converting
+/// panics into an `Err` naming the cell.
+fn execute_cell(
+    job: &CellJob,
+    cache: &WorkloadCache,
+) -> (Result<RunResult, String>, u64, f64, f64) {
+    let body = || -> Result<(RunResult, u64, f64, f64), String> {
+        let t0 = Instant::now();
+        let built = cache.get_or_build(job.kernel, job.scale)?;
+        let cc = job.scheme.compiler_config();
+        let (trace, mem) = built.trace(cc.as_ref());
+        let setup_seconds = t0.elapsed().as_secs_f64();
+        let events = trace.events().len() as u64;
+        let t1 = Instant::now();
+        let result = run_trace(&trace, &mem, built.heap, job.scheme, &job.cfg);
+        Ok((result, events, setup_seconds, t1.elapsed().as_secs_f64()))
+    };
+    match catch_unwind(AssertUnwindSafe(body)) {
+        Ok(Ok((result, events, setup, replay))) => (Ok(result), events, setup, replay),
+        Ok(Err(e)) => (Err(e), 0, 0.0, 0.0),
+        Err(payload) => (
+            Err(format!(
+                "cell {}/{} panicked: {}",
+                job.kernel,
+                job.scheme,
+                panic_message(&*payload)
+            )),
+            0,
+            0.0,
+            0.0,
+        ),
+    }
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    payload
+        .downcast_ref::<&str>()
+        .map(|s| s.to_string())
+        .or_else(|| payload.downcast_ref::<String>().cloned())
+        .unwrap_or_else(|| "<non-string panic payload>".into())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn weights_order_heavy_cells_first() {
+        assert!(cell_weight("bzip2", Scheme::Srp) > cell_weight("parser", Scheme::Srp));
+        assert!(cell_weight("bzip2", Scheme::Srp) > cell_weight("bzip2", Scheme::NoPrefetch));
+        let order = largest_first(&["parser", "bzip2", "mcf", "swim"]);
+        assert_eq!(order[0], "bzip2");
+        assert_eq!(order[1], "swim");
+        // Stability: equal-weight kernels keep caller order.
+        assert_eq!(order[2], "parser");
+        assert_eq!(order[3], "mcf");
+    }
+
+    #[test]
+    fn cache_builds_once_and_shares() {
+        let cache = WorkloadCache::new();
+        let a = cache.get_or_build("crafty", Scale::Test).expect("build");
+        let b = cache.get_or_build("crafty", Scale::Test).expect("cached");
+        assert!(Arc::ptr_eq(&a, &b), "same Arc for repeated requests");
+        assert_eq!(cache.built_count(), 1);
+        assert!(cache.get("crafty", Scale::Test).is_some());
+        assert!(cache.get("crafty", Scale::Small).is_none(), "scale is part of the key");
+        let err = cache.get_or_build("nope", Scale::Test).unwrap_err();
+        assert!(err.contains("nope"), "{err}");
+    }
+
+    #[test]
+    fn cache_insert_seeds_without_replacing() {
+        let cache = WorkloadCache::new();
+        let built = Arc::new(grp_workloads::by_name("twolf").unwrap().build(Scale::Test));
+        cache.insert("twolf", Scale::Test, built.clone());
+        let got = cache.get_or_build("twolf", Scale::Test).expect("seeded");
+        assert!(Arc::ptr_eq(&built, &got), "seeded workload is reused, not rebuilt");
+        // A second insert must not swap the workload out from under readers.
+        let other = Arc::new(grp_workloads::by_name("twolf").unwrap().build(Scale::Test));
+        cache.insert("twolf", Scale::Test, other);
+        let still = cache.get_or_build("twolf", Scale::Test).expect("still seeded");
+        assert!(Arc::ptr_eq(&built, &still));
+    }
+
+    #[test]
+    fn run_cells_streams_every_cell_and_isolates_errors() {
+        let cfg = SimConfig::paper();
+        let jobs = vec![
+            CellJob { id: 7, kernel: "twolf", scheme: Scheme::NoPrefetch, scale: Scale::Test, cfg },
+            CellJob { id: 8, kernel: "not-a-kernel", scheme: Scheme::Srp, scale: Scale::Test, cfg },
+            CellJob { id: 9, kernel: "twolf", scheme: Scheme::Srp, scale: Scale::Test, cfg },
+        ];
+        let cache = WorkloadCache::new();
+        let mut seen = Vec::new();
+        let stats = run_cells(&jobs, 2, &cache, |r| seen.push(r));
+        assert_eq!(stats.cells, 3);
+        assert_eq!(stats.errors, 1);
+        assert_eq!(stats.queue_wait_micros.count(), 3);
+        assert_eq!(stats.cells_per_worker.iter().sum::<usize>(), 3);
+        seen.sort_by_key(|r| r.id);
+        assert_eq!(seen.iter().map(|r| r.id).collect::<Vec<_>>(), vec![7, 8, 9]);
+        assert!(seen[0].outcome.is_ok());
+        let err = seen[1].outcome.as_ref().unwrap_err();
+        assert!(err.contains("not-a-kernel"), "{err}");
+        assert!(seen[2].outcome.is_ok());
+        // The two twolf cells shared one build.
+        assert_eq!(cache.built_count(), 1);
+        // Replays really ran and were accounted.
+        assert!(stats.events > 0);
+        assert!(stats.sim_cycles > 0);
+        assert!(stats.wall_seconds > 0.0);
+    }
+
+    #[test]
+    fn grid_jobs_cover_the_whole_grid_with_unique_ids() {
+        let jobs = grid_jobs(
+            &["twolf", "mcf"],
+            &[Scheme::NoPrefetch, Scheme::Stride, Scheme::Srp],
+            Scale::Test,
+            SimConfig::paper(),
+        );
+        assert_eq!(jobs.len(), 6);
+        let mut ids: Vec<u64> = jobs.iter().map(|j| j.id).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), 6, "ids are unique");
+    }
+}

@@ -1,10 +1,13 @@
 //! Memoizing suite runner: one simulation per `(benchmark, scheme)`.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Arc;
 
 use grp_core::{RunResult, Scheme, SimConfig};
 use grp_workloads::{all, BuiltWorkload, Scale, Workload};
+
+use crate::sched::{self, CellJob, WorkloadCache};
 
 /// Problem-size selection for a whole experiment run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -65,7 +68,7 @@ pub fn scale_from_args() -> SuiteScale {
 pub struct Suite {
     scale: SuiteScale,
     cfg: SimConfig,
-    built: HashMap<&'static str, BuiltWorkload>,
+    built: HashMap<&'static str, Arc<BuiltWorkload>>,
     results: HashMap<(&'static str, Scheme), RunResult>,
     verbose: bool,
     panic_kernel: Option<&'static str>,
@@ -118,11 +121,13 @@ impl Suite {
     }
 
     /// The built (setup-complete) workload, building it on first use.
+    /// Held behind an `Arc` so the cell scheduler can share it
+    /// read-only across workers without a rebuild or a deep clone.
     pub fn built(&mut self, name: &'static str) -> &BuiltWorkload {
         let scale = self.scale.workload_scale();
-        self.built
-            .entry(name)
-            .or_insert_with(|| grp_workloads::by_name(name).expect("registered").build(scale))
+        self.built.entry(name).or_insert_with(|| {
+            Arc::new(grp_workloads::by_name(name).expect("registered").build(scale))
+        })
     }
 
     /// Runs (or recalls) `name` under `scheme`.
@@ -194,8 +199,12 @@ impl Suite {
             })
             .max(1)
             .min(names.len().max(1));
-        let work: std::sync::Mutex<Vec<&'static str>> =
-            std::sync::Mutex::new(names.to_vec());
+        // Drain order: largest kernels first, FIFO within a weight class
+        // (a plain `Vec::pop` here used to silently *reverse* the
+        // caller's order, so the heaviest kernels could land last and
+        // stretch the tail).
+        let work: std::sync::Mutex<VecDeque<&'static str>> =
+            std::sync::Mutex::new(sched::largest_first(names).into());
         let results: std::sync::Mutex<Vec<(&'static str, Scheme, RunResult)>> =
             std::sync::Mutex::new(Vec::new());
         let builts: std::sync::Mutex<Vec<(&'static str, BuiltWorkload)>> =
@@ -205,7 +214,7 @@ impl Suite {
         std::thread::scope(|s| {
             for _ in 0..threads {
                 s.spawn(|| loop {
-                    let Some(name) = work.lock().expect("work queue").pop() else {
+                    let Some(name) = work.lock().expect("work queue").pop_front() else {
                         return;
                     };
                     if verbose {
@@ -245,7 +254,7 @@ impl Suite {
         // Hand the worker-built workloads to the memo table too: a later
         // built()/run() for an unmemoized scheme must not rebuild.
         for (name, built) in builts.into_inner().expect("builts") {
-            self.built.insert(name, built);
+            self.built.insert(name, Arc::new(built));
         }
         for (name, scheme, r) in results.into_inner().expect("results") {
             self.results.insert((name, scheme), r);
@@ -265,6 +274,86 @@ impl Suite {
             names.len(),
             self.scale,
             detail.join("; ")
+        ))
+    }
+
+    /// Warms the memo table through the **cell-granular** work-stealing
+    /// scheduler ([`crate::sched`]): every `(benchmark, scheme)` cell is
+    /// an independent unit of work, so a wide scheme row of one heavy
+    /// kernel spreads across workers instead of serializing on the
+    /// worker that built the kernel (the `precompute_jobs` granularity).
+    /// Built workloads are shared read-only via the scheduler's
+    /// [`WorkloadCache`] — seeded from, and adopted back into, this
+    /// suite's built map, so schemes of the same kernel never rebuild.
+    ///
+    /// `jobs` is the worker count (`None` = available parallelism).
+    /// Per-cell results are bit-identical to the serial [`Suite::run`]
+    /// path for any worker count and steal order.
+    ///
+    /// # Errors
+    ///
+    /// Lists every failed cell (unknown kernel or a panic inside the
+    /// cell) while the surviving cells' results still land in the memo
+    /// table.
+    pub fn precompute_cells(
+        &mut self,
+        names: &[&'static str],
+        schemes: &[Scheme],
+        jobs: Option<usize>,
+    ) -> Result<(), String> {
+        let scale = self.scale.workload_scale();
+        let cache = WorkloadCache::new();
+        for (name, built) in &self.built {
+            cache.insert(name, scale, built.clone());
+        }
+        let cells: Vec<CellJob> = sched::grid_jobs(names, schemes, scale, self.cfg);
+        let workers = jobs.unwrap_or_else(|| {
+            std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4)
+        });
+        let verbose = self.verbose;
+        let results = &mut self.results;
+        let mut failures: Vec<String> = Vec::new();
+        let stats = sched::run_cells(&cells, workers, &cache, |cell| {
+            if verbose {
+                eprintln!(
+                    "  [fleet] {}/{} done (worker {})",
+                    cell.kernel,
+                    cell.scheme.label(),
+                    cell.worker
+                );
+            }
+            match cell.outcome {
+                Ok(r) => {
+                    results.insert((cell.kernel, cell.scheme), r);
+                }
+                Err(e) => failures.push(format!("{}/{}: {e}", cell.kernel, cell.scheme)),
+            }
+        });
+        // Adopt scheduler-built workloads so later built()/run() calls
+        // for unmemoized schemes reuse them.
+        for &name in names {
+            if !self.built.contains_key(name) {
+                if let Some(b) = cache.get(name, scale) {
+                    self.built.insert(name, b);
+                }
+            }
+        }
+        if verbose {
+            eprintln!(
+                "  [fleet] {} cells on {} workers in {:.3}s ({} steals)",
+                stats.cells, stats.workers, stats.wall_seconds, stats.steals
+            );
+        }
+        if failures.is_empty() {
+            return Ok(());
+        }
+        failures.sort();
+        Err(format!(
+            "precompute_cells: {}/{} cell(s) failed at {:?} scale — {}",
+            failures.len(),
+            cells.len(),
+            self.scale,
+            failures.join("; ")
         ))
     }
 
@@ -319,7 +408,7 @@ mod tests {
         // used to rebuild the whole workload from scratch.
         assert!(s.built.contains_key("crafty"));
         assert!(s.built.contains_key("sphinx"));
-        let before = s.built.get("crafty").expect("cached") as *const BuiltWorkload;
+        let before = Arc::as_ptr(s.built.get("crafty").expect("cached"));
         let after = s.built("crafty") as *const BuiltWorkload;
         assert_eq!(before, after, "built() must reuse the precomputed workload");
         // A later run() must not recompute (results are identical objects).
@@ -419,6 +508,55 @@ mod tests {
         assert!(!s.results.contains_key(&("crafty", Scheme::NoPrefetch)));
         let r = s.run("sphinx", Scheme::NoPrefetch);
         assert!(r.cycles > 0);
+    }
+
+    #[test]
+    fn precompute_cells_fills_the_memo_table_and_shares_builds() {
+        let mut s = Suite::new(SuiteScale::Test);
+        s.precompute_cells(
+            &["crafty", "sphinx"],
+            &[Scheme::NoPrefetch, Scheme::PerfectL2],
+            Some(2),
+        )
+        .expect("clean grid");
+        assert_eq!(s.results.len(), 4);
+        // The scheduler-built workloads are adopted: built() reuses them.
+        assert!(s.built.contains_key("crafty"));
+        let before = Arc::as_ptr(s.built.get("crafty").expect("cached"));
+        let after = s.built("crafty") as *const BuiltWorkload;
+        assert_eq!(before, after, "built() must reuse the scheduler's workload");
+        // And the memoized results match the serial path.
+        let mut serial = Suite::new(SuiteScale::Test);
+        assert_eq!(
+            s.run("sphinx", Scheme::PerfectL2),
+            serial.run("sphinx", Scheme::PerfectL2)
+        );
+    }
+
+    #[test]
+    fn precompute_cells_isolates_a_failing_cell() {
+        let mut s = Suite::new(SuiteScale::Test);
+        let err = s
+            .precompute_cells(&["nope", "twolf"], &[Scheme::NoPrefetch], Some(2))
+            .unwrap_err();
+        assert!(err.contains("nope"), "error names the failing cell: {err}");
+        assert!(err.contains("1/2"), "error counts failures: {err}");
+        // The surviving cell's result landed and the suite stays usable.
+        assert!(s.results.contains_key(&("twolf", Scheme::NoPrefetch)));
+        assert!(s.run("twolf", Scheme::NoPrefetch).cycles > 0);
+    }
+
+    #[test]
+    fn precompute_drains_largest_first_not_reversed() {
+        // Regression: the work queue used to pop LIFO, silently
+        // reversing the caller's order — the heaviest kernel could land
+        // last and stretch the tail. The drain order is now largest-
+        // first (stable), independent of how the caller listed them.
+        let drain = sched::largest_first(&["parser", "twolf", "bzip2", "swim"]);
+        assert_eq!(drain[0], "bzip2", "heaviest first: {drain:?}");
+        assert_eq!(drain[1], "swim");
+        // Equal-weight kernels keep the caller's order — never reversed.
+        assert_eq!(&drain[2..], &["parser", "twolf"]);
     }
 
     #[test]

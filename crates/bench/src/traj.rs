@@ -1,0 +1,500 @@
+//! `BENCH_perf.json` trajectory handling: crash-safe load/append with
+//! concurrent-writer serialization, plus shape validation for both
+//! entry kinds (serial harness entries and fleet-scheduler entries).
+//!
+//! Two harness bugs lived here before this module existed:
+//!
+//! * the perf bin mapped **every** `read_to_string` error to "start a
+//!   fresh trajectory", so a transient `EACCES` (or a path that is a
+//!   directory) silently discarded the recorded history on the next
+//!   atomic write — [`load_entries`] now treats only
+//!   `ErrorKind::NotFound` as fresh and refuses everything else;
+//! * two concurrent `perf` processes appending to one file raced
+//!   read-modify-write, losing one entry — [`append_entry`] serializes
+//!   writers through a `<path>.lock` file (created with `create_new`,
+//!   retried with a deadline) around the read+rename critical section.
+
+use std::fs::OpenOptions;
+use std::io::{ErrorKind, Write as _};
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+use crate::json::Json;
+use crate::sched::FleetStats;
+
+/// Reads the entry list from a trajectory file.
+///
+/// A missing file is a fresh trajectory (`Ok(vec![])`). **Any other
+/// read error is fatal**: an unreadable-but-existing file must never be
+/// mistaken for an empty history, because the caller's next atomic
+/// write would replace the real file with a one-entry trajectory.
+///
+/// # Errors
+///
+/// Non-`NotFound` I/O errors, malformed JSON, or a document without an
+/// `entries` array — all naming `path`.
+pub fn load_entries(path: &str) -> Result<Vec<Json>, String> {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) if e.kind() == ErrorKind::NotFound => return Ok(Vec::new()),
+        Err(e) => {
+            return Err(format!(
+                "cannot read {path}: {e} — refusing to reset the recorded trajectory"
+            ))
+        }
+    };
+    let doc = Json::parse(&text)
+        .map_err(|e| format!("{path} is not valid JSON ({e}); refusing to overwrite"))?;
+    doc.get("entries")
+        .and_then(|e| e.as_array())
+        .map(|a| a.to_vec())
+        .ok_or_else(|| format!("{path} exists but has no 'entries' array"))
+}
+
+/// Appends one entry to the trajectory at `path`, serialized against
+/// concurrent appenders via a lock file and landed through
+/// [`crate::artifact::atomic_write`].
+///
+/// # Errors
+///
+/// Lock acquisition timeout, any [`load_entries`] failure, or the
+/// final write failing.
+pub fn append_entry(path: &str, entry: Json) -> Result<(), String> {
+    let _lock = LockFile::acquire(path, Duration::from_secs(10))?;
+    let mut entries = load_entries(path)?;
+    entries.push(entry);
+    let doc = Json::object().set("version", 1u64).set("entries", Json::Array(entries));
+    crate::artifact::atomic_write(path, doc.render())
+        .map_err(|e| format!("cannot write {path}: {e}"))
+}
+
+/// A held `<target>.lock` file; removed on drop. `create_new` makes
+/// creation the atomic acquire; a writer that dies without cleanup
+/// leaves a stale lock that times out loudly (naming the lock path)
+/// rather than deadlocking silently.
+#[derive(Debug)]
+struct LockFile {
+    path: PathBuf,
+}
+
+impl LockFile {
+    fn acquire(target: &str, timeout: Duration) -> Result<Self, String> {
+        let path = PathBuf::from(format!("{target}.lock"));
+        if let Some(dir) = path.parent() {
+            if !dir.as_os_str().is_empty() {
+                std::fs::create_dir_all(dir)
+                    .map_err(|e| format!("cannot create {}: {e}", dir.display()))?;
+            }
+        }
+        let deadline = Instant::now() + timeout;
+        loop {
+            match OpenOptions::new().write(true).create_new(true).open(&path) {
+                Ok(mut f) => {
+                    let _ = write!(f, "{}", std::process::id());
+                    return Ok(Self { path });
+                }
+                Err(e) if e.kind() == ErrorKind::AlreadyExists => {
+                    if Instant::now() >= deadline {
+                        return Err(format!(
+                            "timed out waiting for {} (held by another writer, or stale \
+                             from a crashed one — remove it to proceed)",
+                            path.display()
+                        ));
+                    }
+                    std::thread::sleep(Duration::from_millis(2));
+                }
+                Err(e) => return Err(format!("cannot create lock {}: {e}", path.display())),
+            }
+        }
+    }
+}
+
+impl Drop for LockFile {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_file(&self.path);
+    }
+}
+
+/// Builds the fleet-scheduler entry shape: the common trajectory fields
+/// (so every existing reader still parses it) plus `kind: "fleet"`,
+/// worker accounting, and queue-wait percentiles. `kernels` rows carry
+/// a `worker` field on top of the serial per-cell fields.
+pub fn fleet_entry(
+    label: &str,
+    scale: &str,
+    schemes: &[&str],
+    stats: &FleetStats,
+    kernels: Vec<Json>,
+) -> Json {
+    let q = &stats.queue_wait_micros;
+    Json::object()
+        .set("label", label)
+        .set("kind", "fleet")
+        .set("scale", scale)
+        .set(
+            "schemes",
+            Json::Array(schemes.iter().map(|s| Json::from(*s)).collect()),
+        )
+        .set("workers", stats.workers as u64)
+        .set("cells", stats.cells as u64)
+        .set("errors", stats.errors as u64)
+        .set("steals", stats.steals)
+        .set("wall_seconds", stats.wall_seconds)
+        .set("setup_seconds", stats.setup_seconds)
+        .set("replay_seconds", stats.replay_seconds)
+        .set("events", stats.events)
+        .set("sim_cycles", stats.sim_cycles)
+        .set("events_per_sec", stats.events_per_sec())
+        .set("sim_cycles_per_sec", stats.sim_cycles_per_sec())
+        .set(
+            "per_worker",
+            Json::Array(
+                (0..stats.workers)
+                    .map(|w| {
+                        Json::object()
+                            .set("worker", w as u64)
+                            .set("cells", stats.cells_per_worker[w] as u64)
+                            .set("busy_seconds", stats.busy_seconds[w])
+                            .set("utilization", stats.utilization(w))
+                    })
+                    .collect(),
+            ),
+        )
+        .set(
+            "queue_wait_micros",
+            Json::object()
+                .set("p50", q.percentile(0.50))
+                .set("p90", q.percentile(0.90))
+                .set("p99", q.percentile(0.99))
+                .set("max", q.max())
+                .set("mean", q.mean()),
+        )
+        .set("kernels", Json::Array(kernels))
+}
+
+/// Validates a trajectory file's structure (both entry kinds),
+/// returning the entry count.
+///
+/// # Errors
+///
+/// Describes the first malformed field, naming the entry index.
+pub fn check_trajectory(path: &str) -> Result<usize, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read: {e}"))?;
+    let doc = Json::parse(&text).map_err(|e| format!("malformed: {e}"))?;
+    let entries = doc
+        .get("entries")
+        .and_then(|e| e.as_array())
+        .ok_or("missing 'entries' array")?;
+    if entries.is_empty() {
+        return Err("no entries recorded".to_string());
+    }
+    for (i, e) in entries.iter().enumerate() {
+        for key in ["label", "scale"] {
+            e.get(key)
+                .and_then(|v| v.as_str())
+                .ok_or(format!("entry {i}: missing string '{key}'"))?;
+        }
+        for key in ["events_per_sec", "sim_cycles_per_sec", "replay_seconds"] {
+            let v = e
+                .get(key)
+                .and_then(|v| v.as_f64())
+                .ok_or(format!("entry {i}: missing number '{key}'"))?;
+            if !v.is_finite() || v <= 0.0 {
+                return Err(format!("entry {i}: '{key}' is not positive"));
+            }
+        }
+        let kernels = e
+            .get("kernels")
+            .and_then(|k| k.as_array())
+            .ok_or(format!("entry {i}: missing 'kernels' array"))?;
+        for (j, k) in kernels.iter().enumerate() {
+            k.get("bench")
+                .and_then(|v| v.as_str())
+                .ok_or(format!("entry {i} kernel {j}: missing 'bench'"))?;
+            k.get("scheme")
+                .and_then(|v| v.as_str())
+                .ok_or(format!("entry {i} kernel {j}: missing 'scheme'"))?;
+            k.get("events_per_sec")
+                .and_then(|v| v.as_f64())
+                .ok_or(format!("entry {i} kernel {j}: missing 'events_per_sec'"))?;
+        }
+        if e.get("kind").and_then(|v| v.as_str()) == Some("fleet") {
+            check_fleet_entry(i, e, kernels.len())?;
+        }
+    }
+    Ok(entries.len())
+}
+
+/// The fleet-specific fields of one `kind: "fleet"` entry.
+fn check_fleet_entry(i: usize, e: &Json, kernel_rows: usize) -> Result<(), String> {
+    let workers = e
+        .get("workers")
+        .and_then(|v| v.as_u64())
+        .ok_or(format!("entry {i}: fleet entry missing 'workers'"))?;
+    if workers == 0 {
+        return Err(format!("entry {i}: fleet entry has zero workers"));
+    }
+    let cells = e
+        .get("cells")
+        .and_then(|v| v.as_u64())
+        .ok_or(format!("entry {i}: fleet entry missing 'cells'"))?;
+    if cells as usize != kernel_rows {
+        return Err(format!(
+            "entry {i}: fleet 'cells' ({cells}) disagrees with kernels rows ({kernel_rows})"
+        ));
+    }
+    let per_worker = e
+        .get("per_worker")
+        .and_then(|v| v.as_array())
+        .ok_or(format!("entry {i}: fleet entry missing 'per_worker'"))?;
+    if per_worker.len() as u64 != workers {
+        return Err(format!(
+            "entry {i}: per_worker has {} rows for {workers} workers",
+            per_worker.len()
+        ));
+    }
+    let mut worker_cells = 0u64;
+    for (w, row) in per_worker.iter().enumerate() {
+        let util = row
+            .get("utilization")
+            .and_then(|v| v.as_f64())
+            .ok_or(format!("entry {i} worker {w}: missing 'utilization'"))?;
+        if !(0.0..=1.0 + 1e-9).contains(&util) {
+            return Err(format!("entry {i} worker {w}: utilization {util} out of [0,1]"));
+        }
+        row.get("busy_seconds")
+            .and_then(|v| v.as_f64())
+            .ok_or(format!("entry {i} worker {w}: missing 'busy_seconds'"))?;
+        worker_cells += row
+            .get("cells")
+            .and_then(|v| v.as_u64())
+            .ok_or(format!("entry {i} worker {w}: missing 'cells'"))?;
+    }
+    if worker_cells != cells {
+        return Err(format!(
+            "entry {i}: per-worker cells sum to {worker_cells}, entry says {cells}"
+        ));
+    }
+    let q = e
+        .get("queue_wait_micros")
+        .ok_or(format!("entry {i}: fleet entry missing 'queue_wait_micros'"))?;
+    let pct = |key: &str| -> Result<f64, String> {
+        q.get(key)
+            .and_then(|v| v.as_f64())
+            .ok_or(format!("entry {i}: queue_wait_micros missing '{key}'"))
+    };
+    let (p50, p90, p99) = (pct("p50")?, pct("p90")?, pct("p99")?);
+    if !(p50 <= p90 && p90 <= p99) {
+        return Err(format!(
+            "entry {i}: queue-wait percentiles not monotone (p50={p50} p90={p90} p99={p99})"
+        ));
+    }
+    // Each kernels row must name the worker that ran the cell.
+    let kernels = e.get("kernels").and_then(|k| k.as_array()).expect("checked");
+    for (j, k) in kernels.iter().enumerate() {
+        let w = k
+            .get("worker")
+            .and_then(|v| v.as_u64())
+            .ok_or(format!("entry {i} kernel {j}: fleet row missing 'worker'"))?;
+        if w >= workers {
+            return Err(format!("entry {i} kernel {j}: worker {w} out of range"));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use grp_core::LatencyHist;
+
+    fn scratch(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("grp-traj-{}-{name}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("scratch dir");
+        dir
+    }
+
+    fn entry(label: &str) -> Json {
+        Json::object()
+            .set("label", label)
+            .set("scale", "test")
+            .set("events_per_sec", 1.0)
+            .set("sim_cycles_per_sec", 1.0)
+            .set("replay_seconds", 1.0)
+            .set("kernels", Json::Array(vec![]))
+    }
+
+    #[test]
+    fn missing_file_is_a_fresh_trajectory() {
+        let dir = scratch("fresh");
+        let path = dir.join("nope.json");
+        assert_eq!(load_entries(path.to_str().unwrap()), Ok(Vec::new()));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn unreadable_existing_path_must_not_reset_history() {
+        // Regression: every read error used to map to Vec::new(), so a
+        // transient failure (here: the path is a *directory*, EISDIR)
+        // discarded the whole recorded history on the next write. Now
+        // only NotFound means "start fresh".
+        let dir = scratch("unreadable");
+        let path = dir.to_str().unwrap();
+        let err = load_entries(path).unwrap_err();
+        assert!(err.contains("refusing to reset"), "{err}");
+        assert!(err.contains(path), "error names the path: {err}");
+        // And append_entry refuses too, leaving the directory intact.
+        let err = append_entry(path, entry("x")).unwrap_err();
+        assert!(err.contains("refusing to reset"), "{err}");
+        assert!(dir.is_dir(), "the unreadable target is untouched");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn malformed_json_is_fatal_not_fresh() {
+        let dir = scratch("malformed");
+        let path = dir.join("t.json");
+        std::fs::write(&path, "{\"entries\": [tru").unwrap();
+        let err = load_entries(path.to_str().unwrap()).unwrap_err();
+        assert!(err.contains("not valid JSON"), "{err}");
+        let err = load_entries("/dev/null").err();
+        assert!(err.is_some(), "empty file is malformed, not fresh");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn append_round_trips_and_accumulates() {
+        let dir = scratch("append");
+        let path = dir.join("t.json");
+        let p = path.to_str().unwrap();
+        append_entry(p, entry("a")).expect("first");
+        append_entry(p, entry("b")).expect("second");
+        let entries = load_entries(p).expect("load");
+        assert_eq!(entries.len(), 2);
+        assert_eq!(entries[1].get("label").and_then(|l| l.as_str()), Some("b"));
+        assert_eq!(check_trajectory(p), Ok(2));
+        assert!(!path.with_extension("json.lock").exists(), "lock released");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn concurrent_appends_both_survive() {
+        // Regression for the read-modify-write race: two writers
+        // appending at once used to lose one entry (both read N
+        // entries, both wrote N+1). The lock file serializes them.
+        let dir = scratch("race");
+        let path = dir.join("t.json");
+        let p: String = path.to_str().unwrap().to_string();
+        const PER_THREAD: usize = 8;
+        std::thread::scope(|s| {
+            for t in 0..2 {
+                let p = p.clone();
+                s.spawn(move || {
+                    for i in 0..PER_THREAD {
+                        append_entry(&p, entry(&format!("t{t}-{i}"))).expect("append");
+                    }
+                });
+            }
+        });
+        let entries = load_entries(&p).expect("load");
+        assert_eq!(
+            entries.len(),
+            2 * PER_THREAD,
+            "every concurrent append must survive"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn stale_lock_times_out_with_a_named_path() {
+        let dir = scratch("stale");
+        let path = dir.join("t.json");
+        let p = path.to_str().unwrap();
+        std::fs::write(format!("{p}.lock"), "12345").unwrap();
+        let err = LockFile::acquire(p, Duration::from_millis(30)).unwrap_err();
+        assert!(err.contains(".lock"), "{err}");
+        assert!(err.contains("stale"), "{err}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    fn fleet_stats() -> FleetStats {
+        let mut q = LatencyHist::default();
+        for v in [1u64, 10, 100, 1000] {
+            q.record(v);
+        }
+        FleetStats {
+            workers: 2,
+            cells: 2,
+            errors: 0,
+            wall_seconds: 1.0,
+            events: 100,
+            sim_cycles: 500,
+            replay_seconds: 1.5,
+            setup_seconds: 0.25,
+            busy_seconds: vec![0.9, 0.8],
+            cells_per_worker: vec![1, 1],
+            steals: 1,
+            queue_wait_micros: q,
+        }
+    }
+
+    fn fleet_cell(worker: u64) -> Json {
+        Json::object()
+            .set("bench", "twolf")
+            .set("scheme", "none")
+            .set("events", 50u64)
+            .set("sim_cycles", 250u64)
+            .set("replay_seconds", 0.75)
+            .set("events_per_sec", 66.6)
+            .set("worker", worker)
+    }
+
+    #[test]
+    fn fleet_entry_shape_validates() {
+        let dir = scratch("fleet");
+        let path = dir.join("t.json");
+        let p = path.to_str().unwrap();
+        let e = fleet_entry(
+            "fleet-test",
+            "test",
+            &["none"],
+            &fleet_stats(),
+            vec![fleet_cell(0), fleet_cell(1)],
+        );
+        append_entry(p, e).expect("append fleet entry");
+        assert_eq!(check_trajectory(p), Ok(1));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn fleet_entry_inconsistencies_are_flagged() {
+        let dir = scratch("fleet-bad");
+        let path = dir.join("t.json");
+        let p = path.to_str().unwrap();
+        // Worker index out of range in a cell row.
+        let bad = fleet_entry(
+            "fleet-bad",
+            "test",
+            &["none"],
+            &fleet_stats(),
+            vec![fleet_cell(0), fleet_cell(9)],
+        );
+        append_entry(p, bad).expect("append");
+        let err = check_trajectory(p).unwrap_err();
+        assert!(err.contains("worker 9 out of range"), "{err}");
+        // Cells count disagreeing with rows.
+        let mut stats = fleet_stats();
+        stats.cells = 3;
+        stats.cells_per_worker = vec![2, 1];
+        std::fs::remove_file(&path).unwrap();
+        append_entry(
+            p,
+            fleet_entry("fleet-bad2", "test", &["none"], &stats, vec![fleet_cell(0), fleet_cell(1)]),
+        )
+        .expect("append");
+        let err = check_trajectory(p).unwrap_err();
+        assert!(err.contains("disagrees with kernels rows"), "{err}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -118,6 +118,12 @@ impl Scheme {
             Scheme::PerfectL2 => "perfect-L2",
         }
     }
+
+    /// The scheme whose [`Scheme::label`] is `label` — the inverse
+    /// lookup the perf harness and serve protocol parse requests with.
+    pub fn by_label(label: &str) -> Option<Scheme> {
+        Scheme::ALL.into_iter().find(|s| s.label() == label)
+    }
 }
 
 impl std::fmt::Display for Scheme {
@@ -228,5 +234,14 @@ mod tests {
         assert_eq!(Scheme::GrpVar.ideal_mode(), IdealMode::None);
         assert_eq!(Scheme::GrpVar.to_string(), "GRP/Var");
         assert_eq!(Scheme::ALL.len(), 12);
+    }
+
+    #[test]
+    fn scheme_label_round_trips() {
+        for s in Scheme::ALL {
+            assert_eq!(Scheme::by_label(s.label()), Some(s), "{s}");
+        }
+        assert_eq!(Scheme::by_label("nope"), None);
+        assert_eq!(Scheme::by_label(""), None);
     }
 }

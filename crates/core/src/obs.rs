@@ -436,6 +436,39 @@ impl LatencyHist {
         if self.count == 0 { 0.0 } else { self.sum as f64 / self.count as f64 }
     }
 
+    /// Approximate `p`-quantile (`0.0..=1.0`): the inclusive upper
+    /// bound of the first bucket whose cumulative count reaches
+    /// `ceil(p · count)`, clamped to the largest sample seen. Exact to
+    /// within one power-of-two bucket — the same resolution the
+    /// histogram stores. Returns 0 when empty.
+    pub fn percentile(&self, p: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((p.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                let (_, hi) = Self::bucket_range(i);
+                return hi.min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Folds another histogram's samples into this one (bucket-wise
+    /// add) — server mode accumulates per-batch queue-wait histograms
+    /// into one fleet-lifetime distribution this way.
+    pub fn absorb(&mut self, other: &LatencyHist) {
+        for (b, o) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *b += o;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.max = self.max.max(other.max);
+    }
+
     /// Raw bucket counts; bucket `i` covers bit-length-`i` values.
     pub fn buckets(&self) -> &[u64; 32] {
         &self.buckets
@@ -986,6 +1019,22 @@ mod tests {
         assert_eq!(h.buckets()[3], 1); // 4..7
         assert_eq!(h.buckets()[7], 1); // 64..127
         assert_eq!(h.buckets()[21], 1); // 2^20
+        // Percentiles resolve to bucket upper bounds, clamped to max.
+        assert_eq!(LatencyHist::default().percentile(0.5), 0, "empty hist");
+        assert_eq!(h.percentile(0.0), 0); // rank clamps to the first sample
+        assert_eq!(h.percentile(0.5), 3); // 4th of 7 samples sits in bucket 2..3
+        assert_eq!(h.percentile(0.99), 1 << 20);
+        assert_eq!(h.percentile(1.0), 1 << 20);
+        let mut one = LatencyHist::default();
+        one.record(5);
+        assert_eq!(one.percentile(0.5), 5, "upper bound clamps to max seen");
+        // absorb folds sample-for-sample: equivalent to recording both.
+        let mut folded = one.clone();
+        folded.absorb(&h);
+        assert_eq!(folded.count(), h.count() + 1);
+        assert_eq!(folded.sum(), h.sum() + 5);
+        assert_eq!(folded.max(), h.max());
+        assert_eq!(folded.buckets()[3], h.buckets()[3] + 1); // 5 lands in 4..7
         let s = format!("{h}");
         assert!(s.contains("n=7"), "{s}");
         assert!(s.contains("[64-127]=1"), "{s}");

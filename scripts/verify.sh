@@ -47,6 +47,47 @@ cargo run --release -q --offline -p grp-bench --bin perf -- \
     --scale test --label verify-smoke --out "$PERF_TMP"
 cargo run --release -q --offline -p grp-bench --bin perf -- --check "$PERF_TMP"
 
+echo "== fleet smoke: cell scheduler grid + fleet entry shape (offline) =="
+# Shard the full kernel x scheme grid across two workers through the
+# work-stealing cell scheduler; --check validates the appended
+# fleet-shaped entry (per-worker utilization, queue-wait percentiles,
+# per-cell worker attribution). The streamed partial artifact must also
+# parse and report a complete grid.
+FLEET_TMP="$TRACE_TMP/fleet_perf.json"
+cargo run --release -q --offline -p grp-bench --bin perf -- \
+    --fleet --scale test --jobs 2 --label verify-fleet --out "$FLEET_TMP" \
+    --stream-out "$TRACE_TMP/fleet_cells.json" > /dev/null
+cargo run --release -q --offline -p grp-bench --bin perf -- --check "$FLEET_TMP"
+grep -q '"complete":216,"total":216' "$TRACE_TMP/fleet_cells.json" || {
+    echo "ERROR: streamed fleet artifact is not a complete grid" >&2
+    exit 1
+}
+
+echo "== serve smoke: stdin batch replies match the serial path =="
+# Three-job batch over stdin; --selfcheck re-runs every reply serially
+# on a freshly built workload and exits nonzero on any bit-difference,
+# so a pass proves the server's scheduled results equal Suite::run.
+# --check-replies then re-parses the saved reply stream shape.
+SERVE_TMP="$TRACE_TMP/serve.replies"
+printf '%s\n' \
+    '{"kernel":"gzip","scheme":"SRP","id":1}' \
+    '{"kernel":"mcf","scheme":"none","id":2}' \
+    '{"kernel":"gzip","scheme":"GRP/Var","id":3}' \
+    | cargo run --release -q --offline -p grp-bench --bin serve -- \
+        --scale test --jobs 2 --selfcheck > "$SERVE_TMP" 2> /dev/null
+cargo run --release -q --offline -p grp-bench --bin serve -- --check-replies "$SERVE_TMP"
+
+echo "== serve gate has teeth: a bad request must be a flagged reply =="
+if printf '{"kernel":"gzip","scheme":"not-a-scheme","id":1}\n' \
+    | cargo run --release -q --offline -p grp-bench --bin serve -- \
+        --scale test 2> /dev/null \
+    | cargo run --release -q --offline -p grp-bench --bin serve -- \
+        --check-replies /dev/stdin > /dev/null 2>&1; then
+    echo "ERROR: serve --check-replies accepted a failed reply" >&2
+    exit 1
+fi
+echo "  -- bad scheme: flagged"
+
 echo "== trace smoke: lifecycle artifacts round-trip (offline) =="
 # The trace bin self-checks conservation + bit-exact metrics before
 # writing; --check re-parses the written artifacts with the in-tree
