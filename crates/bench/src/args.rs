@@ -124,6 +124,20 @@ pub fn parse_schemes_args(args: &[String]) -> Result<Option<Vec<grp_core::Scheme
     Ok(Some(out))
 }
 
+/// Parses the replay-tier flags shared by the `perf`, `all`, `serve`,
+/// and `check` binaries: `--packed` selects the packed
+/// struct-of-arrays replay tier, `--trace-cache <dir>` enables the
+/// cross-process cache of packed, pre-interpreted traces. Both default
+/// off ([`crate::sched::ReplayMode::default`]).
+pub fn parse_replay_args(args: &[String]) -> Result<crate::sched::ReplayMode, String> {
+    let packed = strict_flag(args, "--packed")?;
+    let dir = strict_value(args, "--trace-cache", "a cache directory path")?;
+    Ok(crate::sched::ReplayMode {
+        packed,
+        trace_cache: dir.map(|d| std::sync::Arc::new(crate::tracecache::TraceCache::new(d))),
+    })
+}
+
 /// Like [`parse_jobs_args`] over the process argv, exiting with the
 /// error on stderr (status 2) instead of returning it — the same
 /// contract as `scale_from_args`.
@@ -223,6 +237,25 @@ mod tests {
         assert!(err.contains("GRP/Var"), "error lists valid labels: {err}");
         let err = parse_schemes_args(&argv(&["run", "--schemes", "SRP,SRP"])).unwrap_err();
         assert!(err.contains("twice"), "{err}");
+    }
+
+    #[test]
+    fn replay_flags_validation() {
+        let mode = parse_replay_args(&argv(&["run"])).unwrap();
+        assert!(mode.is_default());
+        let mode = parse_replay_args(&argv(&["run", "--packed"])).unwrap();
+        assert!(mode.packed && mode.trace_cache.is_none());
+        let mode =
+            parse_replay_args(&argv(&["run", "--trace-cache", "/tmp/tc", "--packed"])).unwrap();
+        assert!(mode.packed);
+        assert_eq!(
+            mode.trace_cache.as_deref().map(|c| c.dir().to_path_buf()),
+            Some(std::path::PathBuf::from("/tmp/tc"))
+        );
+        let err = parse_replay_args(&argv(&["run", "--trace-cache"])).unwrap_err();
+        assert!(err.contains("requires a value"), "{err}");
+        let err = parse_replay_args(&argv(&["run", "--packed", "--packed"])).unwrap_err();
+        assert!(err.contains("more than once"), "{err}");
     }
 
     #[test]

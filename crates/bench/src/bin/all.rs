@@ -9,6 +9,11 @@
 //! `<prefix>-<bench>.jsonl` + `<prefix>-<bench>.trace.json`;
 //! `--metrics-out <prefix>` writes `<prefix>-<bench>.metrics.json`;
 //! `--epoch N` sets the sampling interval (default 4096 events).
+//!
+//! Replay tier: `--packed` replays every cell through the packed
+//! struct-of-arrays tier, and `--trace-cache <dir>` persists packed
+//! pre-interpreted traces so a re-run (or another binary) skips
+//! build + interpretation. Results are bit-identical either way.
 use grp_bench::json::{run_result_json, Json};
 use grp_bench::obs_export::{chrome_trace, flag_u64, flag_value, metrics_json};
 use grp_bench::{experiments, suite::scale_from_args, Suite};
@@ -18,7 +23,12 @@ use grp_workloads::BenchClass;
 fn main() {
     let scale = scale_from_args();
     let jobs = grp_bench::args::jobs_from_args();
-    let mut suite = Suite::new(scale).verbose();
+    let argv: Vec<String> = std::env::args().collect();
+    let replay = grp_bench::args::parse_replay_args(&argv).unwrap_or_else(|e| {
+        eprintln!("error: {e}");
+        std::process::exit(2);
+    });
+    let mut suite = Suite::new(scale).verbose().with_replay(replay);
     println!("GRP reproduction — full evaluation at {scale:?} scale\n");
     // Warm the memo table through the work-stealing cell scheduler:
     // every (benchmark, scheme) cell is an independent unit of work, so

@@ -38,8 +38,15 @@
 //! ```text
 //! cargo run --release -p grp-bench --bin check -- \
 //!     [--cases N] [--seed S] [--scale test|small|paper] [--faults] \
-//!     [--max-cycles N] [--inject none|mru-evict|unbounded-queue|drop-leak]
+//!     [--max-cycles N] [--inject none|mru-evict|unbounded-queue|drop-leak] \
+//!     [--packed] [--trace-cache <dir>]
 //! ```
+//!
+//! `--packed` prepends **phase 0**: every registry kernel × every
+//! scheme is replayed through both the materialized path and the
+//! packed struct-of-arrays tier (optionally through `--trace-cache`),
+//! asserting bit-identical `RunResult`s — the cross-tier determinism
+//! gate at the chosen scale.
 //!
 //! `--inject` plants a deliberate bug (an evict-MRU replacement fault,
 //! an unbounded engine queue, or a dropped-fill MSHR leak) so CI can
@@ -286,8 +293,58 @@ fn main() {
         faults = true;
     }
 
+    let replay = grp_bench::args::parse_replay_args(&args).unwrap_or_else(|e| usage_err(e));
+
     let cfg = SimConfig::paper();
     let mut failures = 0u64;
+
+    // Phase 0 (--packed): packed-vs-materialized identity over the
+    // full kernel × scheme grid, through the trace cache when one is
+    // configured — any diverging counter of any cell fails the gate.
+    if replay.packed {
+        let names: Vec<&'static str> = grp_workloads::all().iter().map(|w| w.name).collect();
+        println!(
+            "phase 0: packed identity on {} kernels x {} schemes ({:?} scale{})",
+            names.len(),
+            Scheme::ALL.len(),
+            scale,
+            if replay.trace_cache.is_some() { ", via trace cache" } else { "" }
+        );
+        let cache = grp_bench::sched::WorkloadCache::new();
+        for name in &names {
+            let mut bad = 0u64;
+            for scheme in Scheme::ALL {
+                let built = cache
+                    .get_or_build(name, scale.workload_scale())
+                    .expect("registered");
+                let want = built.run(scheme, &cfg);
+                let got = grp_bench::sched::run_cell(
+                    name,
+                    scale.workload_scale(),
+                    scheme,
+                    &cfg,
+                    &replay,
+                    || cache.get_or_build(name, scale.workload_scale()),
+                );
+                match got {
+                    Ok((got, _, _, _)) if got == want => {}
+                    Ok(_) => {
+                        failures += 1;
+                        bad += 1;
+                        println!("  {name}/{}: DIVERGED (packed != materialized)", scheme.label());
+                    }
+                    Err(e) => {
+                        failures += 1;
+                        bad += 1;
+                        println!("  {name}/{}: ERROR: {e}", scheme.label());
+                    }
+                }
+            }
+            if bad == 0 {
+                println!("  {name}: OK ({} schemes identical)", Scheme::ALL.len());
+            }
+        }
+    }
 
     // Phase 1: kernel differential against the reference oracle.
     let names: Vec<&'static str> = grp_workloads::all().iter().map(|w| w.name).collect();

@@ -9,6 +9,11 @@
 //!     [--out <path>]        trajectory file (default BENCH_perf.json)
 //!     [--schemes <csv>]     scheme labels (default none,stride,SRP,GRP/Var)
 //!     [--no-write]          print the table, skip the JSON append
+//!     [--packed]            replay through the packed struct-of-arrays
+//!                           tier (bit-identical results; entry gains
+//!                           "replay_tier": "packed")
+//!     [--trace-cache <dir>] persist/reuse packed pre-interpreted
+//!                           traces across processes (setup, not replay)
 //! cargo run --release -p grp-bench --bin perf -- --fleet --scale small
 //!     [--jobs N]            worker count (default: available parallelism)
 //!     [--schemes <csv>]     scheme labels (default: all 12 — the full grid)
@@ -30,13 +35,13 @@
 
 use std::time::Instant;
 
-use grp_bench::args::{jobs_from_args, parse_schemes_args};
+use grp_bench::args::{jobs_from_args, parse_replay_args, parse_schemes_args};
 use grp_bench::json::Json;
 use grp_bench::obs_export::flag_value;
-use grp_bench::sched::{self, WorkloadCache};
+use grp_bench::sched::{self, ReplayMode, WorkloadCache};
 use grp_bench::suite::scale_from_args;
 use grp_bench::traj;
-use grp_core::{run_trace, Scheme};
+use grp_core::Scheme;
 use grp_workloads::all;
 
 /// Default serial scheme set: one representative of each engine hot
@@ -136,11 +141,16 @@ fn main() {
             }
         });
     let write = !args.iter().any(|a| a == "--no-write");
+    let mode = parse_replay_args(&args).unwrap_or_else(|e| {
+        eprintln!("error: {e}");
+        std::process::exit(2);
+    });
 
     println!(
-        "GRP perf harness — {:?} scale, {} schemes: {}",
+        "GRP perf harness — {:?} scale, {} {} replay, schemes: {}",
         scale,
         if fleet { "fleet mode," } else { "serial," },
+        if mode.packed { "packed" } else { "materialized" },
         schemes.iter().map(|s| s.label()).collect::<Vec<_>>().join(", ")
     );
     println!(
@@ -150,10 +160,14 @@ fn main() {
     );
 
     let entry = if fleet {
-        run_fleet(scale, &label, &schemes, &args)
+        run_fleet(scale, &label, &schemes, &mode, &args)
     } else {
-        run_serial(scale, &label, &schemes)
+        run_serial(scale, &label, &schemes, &mode)
     };
+    let entry = entry.set(
+        "replay_tier",
+        if mode.packed { "packed" } else { "materialized" },
+    );
 
     if !write {
         return;
@@ -166,29 +180,38 @@ fn main() {
 }
 
 /// The original single-thread harness: build → trace → timed replay,
-/// one cell at a time, on the calling thread.
-fn run_serial(scale: grp_bench::SuiteScale, label: &str, schemes: &[Scheme]) -> Json {
+/// one cell at a time, on the calling thread. Under `--packed` /
+/// `--trace-cache` the per-cell body goes through
+/// [`sched::run_cell`]: packing (or a cache hit) counts as setup, the
+/// replay column times the replay loop alone in both tiers.
+fn run_serial(
+    scale: grp_bench::SuiteScale,
+    label: &str,
+    schemes: &[Scheme],
+    mode: &ReplayMode,
+) -> Json {
     let wall_start = Instant::now();
     let cfg = grp_core::SimConfig::paper();
     let mut rows: Vec<KernelRow> = Vec::new();
     let mut setup_seconds = 0.0f64;
+    let cache = WorkloadCache::new();
     for w in all() {
-        let t0 = Instant::now();
-        let built = w.build(scale.workload_scale());
-        setup_seconds += t0.elapsed().as_secs_f64();
         for &scheme in schemes {
-            let t1 = Instant::now();
-            let cc = scheme.compiler_config();
-            let (trace, mem) = built.trace(cc.as_ref());
-            setup_seconds += t1.elapsed().as_secs_f64();
-            let t2 = Instant::now();
-            let result = run_trace(&trace, &mem, built.heap, scheme, &cfg);
+            let (result, events, setup, replay) =
+                sched::run_cell(w.name, scale.workload_scale(), scheme, &cfg, mode, || {
+                    cache.get_or_build(w.name, scale.workload_scale())
+                })
+                .unwrap_or_else(|e| {
+                    eprintln!("error: {e}");
+                    std::process::exit(1);
+                });
+            setup_seconds += setup;
             let row = KernelRow {
                 bench: w.name,
                 scheme,
-                events: trace.events().len() as u64,
+                events,
                 sim_cycles: result.cycles,
-                replay_seconds: t2.elapsed().as_secs_f64(),
+                replay_seconds: replay,
                 worker: None,
             };
             row.print();
@@ -232,6 +255,7 @@ fn run_fleet(
     scale: grp_bench::SuiteScale,
     label: &str,
     schemes: &[Scheme],
+    mode: &ReplayMode,
     args: &[String],
 ) -> Json {
     let workers = jobs_from_args().unwrap_or_else(|| {
@@ -246,7 +270,7 @@ fn run_fleet(
 
     let mut rows: Vec<KernelRow> = Vec::new();
     let mut failures: Vec<String> = Vec::new();
-    let stats = sched::run_cells(&jobs, workers, &cache, |cell| {
+    let stats = sched::run_cells_mode(&jobs, workers, &cache, mode, |cell| {
         match &cell.outcome {
             Ok(r) => {
                 let row = KernelRow {

@@ -7,6 +7,12 @@
 //! ```text
 //! cargo run --release -p grp-bench --bin serve -- [--scale test|small|paper]
 //!     [--jobs N]            worker count (default: available parallelism)
+//!     [--packed]            replay cells through the packed tier
+//!                           (bit-identical; --selfcheck replays the
+//!                           materialized path and so doubles as a
+//!                           per-reply packed-identity gate)
+//!     [--trace-cache <dir>] reuse packed pre-interpreted traces
+//!                           across batches, connections, and processes
 //!     [--socket <path>]     accept connections on a unix socket instead
 //!                           of stdin (one client at a time)
 //!     [--once]              with --socket: exit after the first client
@@ -44,10 +50,10 @@
 
 use std::io::{BufRead, BufReader, Write};
 
-use grp_bench::args::{jobs_from_args, strict_flag};
+use grp_bench::args::{jobs_from_args, parse_replay_args, strict_flag};
 use grp_bench::json::{run_result_json, Json};
 use grp_bench::obs_export::flag_value;
-use grp_bench::sched::{self, CellJob, CellResult, FleetStats, WorkloadCache};
+use grp_bench::sched::{self, CellJob, CellResult, FleetStats, ReplayMode, WorkloadCache};
 use grp_bench::suite::{scale_from_args, SuiteScale};
 use grp_bench::traj;
 use grp_core::{Scheme, SimConfig};
@@ -80,12 +86,14 @@ fn main() {
     let socket = flag_value(&args, "--socket");
     let perf_out = flag_value(&args, "--perf-out");
     let label = flag_value(&args, "--label").unwrap_or_else(|| "serve".to_string());
+    let mode = parse_replay_args(&args).unwrap_or_else(|e| fail(e));
 
     let mut server = Server {
         workers,
         default_scale: scale,
         cfg: SimConfig::paper(),
         cache: WorkloadCache::new(),
+        mode,
         selfcheck,
         batches: 0,
         totals: None,
@@ -162,6 +170,8 @@ struct Server {
     default_scale: SuiteScale,
     cfg: SimConfig,
     cache: WorkloadCache,
+    /// Replay tier + optional trace cache for every scheduled cell.
+    mode: ReplayMode,
     selfcheck: bool,
     batches: u64,
     /// Session-lifetime aggregate for `--perf-out` (fleet entry shape).
@@ -221,7 +231,7 @@ impl Server {
         }
         self.batches += 1;
         let mut completed: Vec<CellResult> = Vec::new();
-        let stats = sched::run_cells(&jobs, self.workers, &self.cache, |cell| {
+        let stats = sched::run_cells_mode(&jobs, self.workers, &self.cache, &self.mode, |cell| {
             let reply = match &cell.outcome {
                 Ok(r) => Json::object()
                     .set("id", cell.id)
@@ -303,7 +313,9 @@ impl Server {
 
     /// Re-runs every completed cell serially on a **freshly built**
     /// workload (no shared cache — full independence from the fleet
-    /// path) and records any bit-difference.
+    /// path) and records any bit-difference. The serial side always
+    /// replays materialized, so under `--packed` (or `--trace-cache`)
+    /// this is also a packed-vs-materialized identity gate per reply.
     fn selfcheck_batch(&mut self, completed: &[CellResult]) {
         for cell in completed {
             let Ok(got) = &cell.outcome else { continue };

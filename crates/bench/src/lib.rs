@@ -20,6 +20,7 @@ pub mod obs_export;
 pub mod report;
 pub mod sched;
 pub mod suite;
+pub mod tracecache;
 pub mod traj;
 
 pub use suite::{Suite, SuiteScale};

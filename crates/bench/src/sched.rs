@@ -12,8 +12,8 @@
 //!   so two schemes of the same kernel never rebuild — whichever worker
 //!   gets there first builds, everyone else waits on that one build.
 //! * Cells are ordered **largest-first** by a static cost model
-//!   ([`cell_weight`], calibrated against the recorded BENCH_perf.json
-//!   per-cell replay times) and dealt round-robin into per-worker
+//!   ([`cell_weight`], calibrated against measured packed-tier per-cell
+//!   replay times) and dealt round-robin into per-worker
 //!   deques; an idle worker steals from the *back* of a victim's deque,
 //!   so big early cells stay with their owner and stragglers spread out.
 //! * Results stream to the caller **as cells complete** over a channel
@@ -33,8 +33,37 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{mpsc, Arc, Mutex, OnceLock};
 use std::time::Instant;
 
-use grp_core::{run_trace, LatencyHist, RunResult, Scheme, SimConfig};
+use grp_core::{run_trace, run_trace_packed, LatencyHist, RunResult, Scheme, SimConfig};
+use grp_cpu::PackedTrace;
 use grp_workloads::{BuiltWorkload, Scale};
+
+use crate::tracecache::TraceCache;
+
+/// How cells replay: the materialized enum-event path (default), the
+/// packed struct-of-arrays tier (`--packed`), and optionally a
+/// cross-process [`TraceCache`] of packed, pre-interpreted traces
+/// (`--trace-cache <dir>`). Both knobs are observationally pure:
+/// per-cell `RunResult`s are bit-identical across all four
+/// combinations (enforced by `tests/packed_identity.rs` and the
+/// scheduler determinism tests).
+#[derive(Debug, Clone, Default)]
+pub struct ReplayMode {
+    /// Replay through [`run_trace_packed`] instead of [`run_trace`].
+    pub packed: bool,
+    /// Persist and reuse packed traces + memory images across
+    /// processes. A cache hit skips build + interpretation + hint
+    /// derivation entirely; stale or corrupt entries read as misses
+    /// and are rebuilt, never trusted.
+    pub trace_cache: Option<Arc<TraceCache>>,
+}
+
+impl ReplayMode {
+    /// True when this mode is the plain materialized path with no
+    /// cache — the zero-overhead default.
+    pub fn is_default(&self) -> bool {
+        !self.packed && self.trace_cache.is_none()
+    }
+}
 
 /// One schedulable unit: a single `(kernel, scheme, config)` simulation.
 #[derive(Debug, Clone, Copy)]
@@ -203,35 +232,40 @@ impl WorkloadCache {
     }
 }
 
-/// Static relative cost of one cell, calibrated against the recorded
-/// per-cell replay seconds in `BENCH_perf.json` (bzip2 alone is ~33% of
-/// the small-scale replay wall; SRP-class schemes replay ~6× slower
-/// than the no-prefetch baseline). Only *load balance* depends on this
-/// — results never do — so a stale table degrades tail latency, not
-/// correctness.
+/// Static relative cost of one cell, calibrated against measured
+/// per-cell replay seconds under the packed tier at Small scale (bzip2
+/// is ~26% of the replay wall; SRP-class schemes replay ~2.3× slower
+/// than the no-prefetch baseline — the packed tier narrowed the old 6×
+/// gap by cutting per-event dispatch overhead, which baseline cells
+/// paid proportionally more of). Kernel weights are replay-wall
+/// percentages; scheme weights are ~10× the per-scheme ratio to the
+/// no-prefetch baseline. Only *load balance* depends on this — results
+/// never do — so a stale table degrades tail latency, not correctness.
 pub fn cell_weight(kernel: &str, scheme: Scheme) -> u64 {
     let k: u64 = match kernel {
-        "bzip2" => 33,
+        "bzip2" => 26,
         "swim" => 13,
-        "applu" => 9,
+        "crafty" => 13,
+        "applu" => 11,
         "art" => 7,
-        "crafty" => 7,
-        "apsi" => 6,
-        "gzip" => 5,
-        "mesa" => 4,
-        "sphinx" => 4,
-        "gap" => 3,
+        "gzip" => 6,
+        "apsi" => 4,
+        "gap" => 4,
+        "mesa" => 3,
         "mgrid" => 3,
+        "sphinx" => 2,
+        "wupwise" => 2,
+        "vpr" => 2,
         _ => 1,
     };
     let s: u64 = match scheme {
-        Scheme::Srp | Scheme::SrpPointer => 12,
-        Scheme::GrpAggressive => 8,
-        Scheme::GrpFix | Scheme::GrpVar | Scheme::GrpConservative => 5,
-        Scheme::HwPointer | Scheme::GrpPointer => 3,
-        Scheme::Stride => 3,
-        Scheme::NoPrefetch => 2,
-        Scheme::PerfectL1 | Scheme::PerfectL2 => 1,
+        Scheme::Srp | Scheme::SrpPointer => 23,
+        Scheme::GrpAggressive => 18,
+        Scheme::GrpFix | Scheme::GrpVar | Scheme::GrpConservative => 16,
+        Scheme::HwPointer | Scheme::GrpPointer => 14,
+        Scheme::Stride => 13,
+        Scheme::NoPrefetch => 10,
+        Scheme::PerfectL1 | Scheme::PerfectL2 => 4,
     };
     k * s
 }
@@ -279,6 +313,19 @@ pub fn run_cells<F: FnMut(CellResult)>(
     jobs: &[CellJob],
     workers: usize,
     cache: &WorkloadCache,
+    on_complete: F,
+) -> FleetStats {
+    run_cells_mode(jobs, workers, cache, &ReplayMode::default(), on_complete)
+}
+
+/// [`run_cells`] under an explicit [`ReplayMode`] (packed tier and/or
+/// trace cache). Per-cell results are bit-identical to the default
+/// mode; only setup/replay timing shifts.
+pub fn run_cells_mode<F: FnMut(CellResult)>(
+    jobs: &[CellJob],
+    workers: usize,
+    cache: &WorkloadCache,
+    mode: &ReplayMode,
     mut on_complete: F,
 ) -> FleetStats {
     let workers = workers.max(1).min(jobs.len().max(1));
@@ -339,7 +386,7 @@ pub fn run_cells<F: FnMut(CellResult)>(
                 let queue_micros = start.elapsed().as_micros() as u64;
                 let t0 = Instant::now();
                 let (outcome, events, setup_seconds, replay_seconds) =
-                    execute_cell(&job, cache_ref);
+                    execute_cell(&job, cache_ref, mode);
                 {
                     let mut b = busy[me].lock().expect("busy");
                     b.0 += t0.elapsed().as_secs_f64();
@@ -388,22 +435,81 @@ pub fn run_cells<F: FnMut(CellResult)>(
     stats
 }
 
-/// Builds (via the cache), traces, and replays one cell, converting
-/// panics into an `Err` naming the cell.
+/// Runs one `(kernel, scheme)` cell under `mode`, preferring the trace
+/// cache when one is configured. `get_built` supplies the built
+/// workload and is only invoked on a cache miss — a hit skips the
+/// build, interpretation, and hint derivation entirely.
+///
+/// Returns `(result, events, setup_seconds, replay_seconds)`; `events`
+/// counts materialized trace events in both tiers so packed rows stay
+/// comparable.
+///
+/// # Errors
+///
+/// Unknown kernel (from `get_built`) or a trace that cannot pack.
+pub fn run_cell(
+    kernel: &str,
+    scale: Scale,
+    scheme: Scheme,
+    cfg: &SimConfig,
+    mode: &ReplayMode,
+    get_built: impl FnOnce() -> Result<Arc<BuiltWorkload>, String>,
+) -> Result<(RunResult, u64, f64, f64), String> {
+    let cc = scheme.compiler_config();
+    let t0 = Instant::now();
+    // Cache fast path: packed trace + post-interpretation memory +
+    // heap straight from disk. A stale/corrupt entry reads as a miss.
+    if let Some(cache) = &mode.trace_cache {
+        if let Some((pt, mem, heap)) = cache.load(kernel, scale, cc.as_ref()) {
+            let events = pt.event_count();
+            let setup_seconds = t0.elapsed().as_secs_f64();
+            let t1 = Instant::now();
+            let result = if mode.packed {
+                run_trace_packed(&pt, &mem, heap, scheme, cfg)
+            } else {
+                run_trace(&pt.unpack(), &mem, heap, scheme, cfg)
+            };
+            return Ok((result, events, setup_seconds, t1.elapsed().as_secs_f64()));
+        }
+    }
+    let built = get_built()?;
+    let (trace, mem) = built.trace(cc.as_ref());
+    let events = trace.events().len() as u64;
+    let pt = if mode.packed || mode.trace_cache.is_some() {
+        Some(
+            PackedTrace::pack(&trace)
+                .map_err(|e| format!("{kernel}/{scheme}: trace does not pack: {e}"))?,
+        )
+    } else {
+        None
+    };
+    if let (Some(cache), Some(pt)) = (&mode.trace_cache, &pt) {
+        // Best-effort: a full disk must degrade to "no cache", not
+        // fail the cell.
+        if let Err(e) = cache.store(kernel, scale, cc.as_ref(), pt, &mem, built.heap) {
+            eprintln!("warning: trace-cache store for {kernel} failed: {e}");
+        }
+    }
+    let setup_seconds = t0.elapsed().as_secs_f64();
+    let t1 = Instant::now();
+    let result = match &pt {
+        Some(pt) if mode.packed => run_trace_packed(pt, &mem, built.heap, scheme, cfg),
+        _ => run_trace(&trace, &mem, built.heap, scheme, cfg),
+    };
+    Ok((result, events, setup_seconds, t1.elapsed().as_secs_f64()))
+}
+
+/// Builds (via the cache), traces, and replays one cell under `mode`,
+/// converting panics into an `Err` naming the cell.
 fn execute_cell(
     job: &CellJob,
     cache: &WorkloadCache,
+    mode: &ReplayMode,
 ) -> (Result<RunResult, String>, u64, f64, f64) {
-    let body = || -> Result<(RunResult, u64, f64, f64), String> {
-        let t0 = Instant::now();
-        let built = cache.get_or_build(job.kernel, job.scale)?;
-        let cc = job.scheme.compiler_config();
-        let (trace, mem) = built.trace(cc.as_ref());
-        let setup_seconds = t0.elapsed().as_secs_f64();
-        let events = trace.events().len() as u64;
-        let t1 = Instant::now();
-        let result = run_trace(&trace, &mem, built.heap, job.scheme, &job.cfg);
-        Ok((result, events, setup_seconds, t1.elapsed().as_secs_f64()))
+    let body = || {
+        run_cell(job.kernel, job.scale, job.scheme, &job.cfg, mode, || {
+            cache.get_or_build(job.kernel, job.scale)
+        })
     };
     match catch_unwind(AssertUnwindSafe(body)) {
         Ok(Ok((result, events, setup, replay))) => (Ok(result), events, setup, replay),
@@ -500,6 +606,42 @@ mod tests {
         assert!(stats.events > 0);
         assert!(stats.sim_cycles > 0);
         assert!(stats.wall_seconds > 0.0);
+    }
+
+    #[test]
+    fn replay_modes_are_bit_identical_and_cache_hits_skip_builds() {
+        let cfg = SimConfig::paper();
+        let schemes = [Scheme::NoPrefetch, Scheme::Srp, Scheme::GrpVar];
+        let jobs = grid_jobs(&["twolf", "crafty"], &schemes, Scale::Test, cfg);
+        let collect = |mode: &ReplayMode, cache: &WorkloadCache| {
+            let mut out: Vec<(u64, RunResult)> = Vec::new();
+            let stats = run_cells_mode(&jobs, 2, cache, mode, |r| {
+                out.push((r.id, r.outcome.expect("cell ok")));
+            });
+            assert_eq!(stats.errors, 0);
+            out.sort_by_key(|(id, _)| *id);
+            out
+        };
+        let baseline = collect(&ReplayMode::default(), &WorkloadCache::new());
+
+        let dir = std::env::temp_dir()
+            .join(format!("grp-sched-cache-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let tc = Arc::new(TraceCache::new(&dir));
+        let packed = ReplayMode { packed: true, trace_cache: None };
+        let cached = ReplayMode { packed: false, trace_cache: Some(tc.clone()) };
+        let both = ReplayMode { packed: true, trace_cache: Some(tc.clone()) };
+        assert_eq!(collect(&packed, &WorkloadCache::new()), baseline, "packed tier diverged");
+        assert_eq!(collect(&cached, &WorkloadCache::new()), baseline, "cache (cold) diverged");
+        // Warm cache: every cell must be served from disk — zero builds.
+        let warm_cache = WorkloadCache::new();
+        assert_eq!(collect(&both, &warm_cache), baseline, "cache (warm, packed) diverged");
+        assert_eq!(
+            warm_cache.built_count(),
+            0,
+            "a warm trace cache must skip workload builds entirely"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

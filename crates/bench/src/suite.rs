@@ -7,7 +7,7 @@ use std::sync::Arc;
 use grp_core::{RunResult, Scheme, SimConfig};
 use grp_workloads::{all, BuiltWorkload, Scale, Workload};
 
-use crate::sched::{self, CellJob, WorkloadCache};
+use crate::sched::{self, CellJob, ReplayMode, WorkloadCache};
 
 /// Problem-size selection for a whole experiment run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -72,6 +72,7 @@ pub struct Suite {
     results: HashMap<(&'static str, Scheme), RunResult>,
     verbose: bool,
     panic_kernel: Option<&'static str>,
+    replay: ReplayMode,
 }
 
 impl Suite {
@@ -84,7 +85,16 @@ impl Suite {
             results: HashMap::new(),
             verbose: false,
             panic_kernel: None,
+            replay: ReplayMode::default(),
         }
+    }
+
+    /// Selects the replay tier and trace cache ([`ReplayMode`]) for
+    /// every subsequent [`Suite::run`] / precompute. Results are
+    /// bit-identical across modes; only setup/replay cost shifts.
+    pub fn with_replay(mut self, replay: ReplayMode) -> Self {
+        self.replay = replay;
+        self
     }
 
     /// Test seam: makes the precompute worker panic when it reaches
@@ -139,7 +149,29 @@ impl Suite {
             eprintln!("  running {name} / {scheme}…");
         }
         let cfg = self.cfg;
-        let r = self.built(name).run(scheme, &cfg);
+        let r = if self.replay.is_default() {
+            self.built(name).run(scheme, &cfg)
+        } else {
+            // The replay-mode path: a trace-cache hit skips the build,
+            // so the workload is only materialized inside the closure
+            // on a miss.
+            let scale = self.scale.workload_scale();
+            let mode = self.replay.clone();
+            let built = &mut self.built;
+            let (r, _events, _setup, _replay) =
+                sched::run_cell(name, scale, scheme, &cfg, &mode, || {
+                    Ok(built
+                        .entry(name)
+                        .or_insert_with(|| {
+                            Arc::new(
+                                grp_workloads::by_name(name).expect("registered").build(scale),
+                            )
+                        })
+                        .clone())
+                })
+                .unwrap_or_else(|e| panic!("{e}"));
+            r
+        };
         self.results.insert((name, scheme), r.clone());
         r
     }
@@ -313,7 +345,7 @@ impl Suite {
         let verbose = self.verbose;
         let results = &mut self.results;
         let mut failures: Vec<String> = Vec::new();
-        let stats = sched::run_cells(&cells, workers, &cache, |cell| {
+        let stats = sched::run_cells_mode(&cells, workers, &cache, &self.replay, |cell| {
             if verbose {
                 eprintln!(
                     "  [fleet] {}/{} done (worker {})",
@@ -557,6 +589,38 @@ mod tests {
         assert_eq!(drain[1], "swim");
         // Equal-weight kernels keep the caller's order — never reversed.
         assert_eq!(&drain[2..], &["parser", "twolf"]);
+    }
+
+    #[test]
+    fn replay_modes_match_the_default_suite_path() {
+        let mut base = Suite::new(SuiteScale::Test);
+        let want = base.run("twolf", Scheme::GrpVar);
+        let dir = std::env::temp_dir()
+            .join(format!("grp-suite-cache-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let tc = Arc::new(crate::tracecache::TraceCache::new(&dir));
+        // Packed tier, cold cache, then a second suite hitting the warm
+        // cache — all bit-identical to the default path.
+        let packed = ReplayMode { packed: true, trace_cache: None };
+        let both = ReplayMode { packed: true, trace_cache: Some(tc.clone()) };
+        let mut s = Suite::new(SuiteScale::Test).with_replay(packed);
+        assert_eq!(s.run("twolf", Scheme::GrpVar), want);
+        let mut cold = Suite::new(SuiteScale::Test).with_replay(both.clone());
+        assert_eq!(cold.run("twolf", Scheme::GrpVar), want);
+        let mut warm = Suite::new(SuiteScale::Test).with_replay(both);
+        assert_eq!(warm.run("twolf", Scheme::GrpVar), want);
+        assert!(
+            !warm.built.contains_key("twolf"),
+            "a warm trace cache must satisfy run() without building the workload"
+        );
+        // The cell scheduler honours the suite's mode too.
+        let mut cells = Suite::new(SuiteScale::Test)
+            .with_replay(ReplayMode { packed: true, trace_cache: Some(tc) });
+        cells
+            .precompute_cells(&["twolf"], &[Scheme::GrpVar, Scheme::NoPrefetch], Some(2))
+            .expect("clean grid");
+        assert_eq!(cells.run("twolf", Scheme::GrpVar), want);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

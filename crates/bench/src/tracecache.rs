@@ -1,0 +1,391 @@
+//! On-disk cache of packed, pre-interpreted traces.
+//!
+//! Interpreting a kernel (setup + IR execution + hint derivation) costs
+//! far more than replaying it at test scale, and the interpretation is
+//! deterministic per `(kernel, scale, compiler configuration)` — so one
+//! process can pay it and every later process can skip straight to
+//! replay. An entry persists everything replay needs:
+//!
+//! * the packed trace ([`grp_cpu::PackedTrace`] disk form, which
+//!   carries its own version + checksum),
+//! * the **post-interpretation** functional memory image (the pointer
+//!   and indirect engines read memory contents during replay, so the
+//!   trace alone is not sufficient), serialized page-by-page in page-id
+//!   order via [`Memory::snapshot_pages`],
+//! * the heap range for the pointer base-and-bounds test.
+//!
+//! Entries land through [`crate::artifact::atomic_write`], so a killed
+//! writer never leaves a torn entry — and every load fully validates
+//! magic, version, structural lengths, and an FNV-1a checksum over the
+//! whole entry. **Any** validation failure (stale version, truncation,
+//! flipped bytes, a hand-edited file) makes [`TraceCache::load`] return
+//! `None`: the caller rebuilds and overwrites, it never crashes and
+//! never trusts a corrupt entry.
+//!
+//! The cache key is `(kernel, scale, fingerprint(compiler config))`.
+//! Schemes sharing a compiler configuration (7 of the 12 share "no
+//! hints") share one entry. The cache does **not** fingerprint the
+//! simulator build itself — it is a per-checkout scratch directory;
+//! wipe it (or let `--check` style gates rebuild) after changing
+//! workload or interpreter code.
+
+use std::io;
+use std::path::{Path, PathBuf};
+
+use grp_compiler::AnalysisConfig;
+use grp_cpu::PackedTrace;
+use grp_mem::{Addr, HeapRange, Memory, PAGE_BYTES};
+use grp_workloads::Scale;
+
+/// Entry file magic: "GRPC" (GRP cache).
+const MAGIC: [u8; 4] = *b"GRPC";
+/// Entry format version; bump on any layout change — old entries then
+/// read as stale and rebuild.
+const VERSION: u32 = 1;
+
+/// A directory of packed-trace cache entries.
+#[derive(Debug, Clone)]
+pub struct TraceCache {
+    dir: PathBuf,
+}
+
+impl TraceCache {
+    /// A cache rooted at `dir` (created lazily on first store).
+    pub fn new(dir: impl Into<PathBuf>) -> Self {
+        Self { dir: dir.into() }
+    }
+
+    /// The cache directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// The entry path for one `(kernel, scale, compiler config)` key.
+    pub fn entry_path(&self, kernel: &str, scale: Scale, cc: Option<&AnalysisConfig>) -> PathBuf {
+        self.dir
+            .join(format!("{kernel}-{}-{:016x}.grpt", scale_tag(scale), cc_fingerprint(cc)))
+    }
+
+    /// Loads a valid entry, or `None` when the entry is absent, stale,
+    /// or corrupt in any way — the caller rebuilds in every `None`
+    /// case. Use [`TraceCache::probe`] when the reason matters.
+    pub fn load(
+        &self,
+        kernel: &str,
+        scale: Scale,
+        cc: Option<&AnalysisConfig>,
+    ) -> Option<(PackedTrace, Memory, HeapRange)> {
+        self.probe(kernel, scale, cc).ok()
+    }
+
+    /// Like [`TraceCache::load`], naming why the entry is unusable.
+    ///
+    /// # Errors
+    ///
+    /// A message naming the first validation failure: missing file,
+    /// bad magic, stale version, truncation, checksum mismatch,
+    /// trailing bytes, or an invalid embedded packed trace.
+    pub fn probe(
+        &self,
+        kernel: &str,
+        scale: Scale,
+        cc: Option<&AnalysisConfig>,
+    ) -> Result<(PackedTrace, Memory, HeapRange), String> {
+        let path = self.entry_path(kernel, scale, cc);
+        let bytes = std::fs::read(&path).map_err(|e| format!("{}: {e}", path.display()))?;
+        decode_entry(&bytes).map_err(|e| format!("{}: {e}", path.display()))
+    }
+
+    /// Persists one entry via the atomic-write layer (safe against
+    /// kills and concurrent writers for the same key — last complete
+    /// write wins, which is fine because entries for one key are
+    /// byte-identical by determinism).
+    ///
+    /// # Errors
+    ///
+    /// Any I/O error from the staged write; the cache is best-effort,
+    /// so callers typically warn and continue.
+    pub fn store(
+        &self,
+        kernel: &str,
+        scale: Scale,
+        cc: Option<&AnalysisConfig>,
+        trace: &PackedTrace,
+        mem: &Memory,
+        heap: HeapRange,
+    ) -> io::Result<()> {
+        let path = self.entry_path(kernel, scale, cc);
+        crate::artifact::atomic_write(path, encode_entry(trace, mem, heap))
+    }
+}
+
+/// Serializes one entry. Layout (little-endian):
+///
+/// ```text
+/// magic "GRPC" | version u32 | heap_start u64 | heap_end u64
+/// | n_pages u64 | n_pages x (page_id u64, 4096 raw bytes)
+/// | packed_len u64 | packed-trace bytes (self-checksummed)
+/// | fnv1a64 checksum over everything above
+/// ```
+pub fn encode_entry(trace: &PackedTrace, mem: &Memory, heap: HeapRange) -> Vec<u8> {
+    let pages = mem.snapshot_pages();
+    let packed = trace.to_bytes();
+    let mut out = Vec::with_capacity(4 + 4 + 8 * 4 + pages.len() * (8 + PAGE_BYTES) + packed.len());
+    out.extend_from_slice(&MAGIC);
+    out.extend_from_slice(&VERSION.to_le_bytes());
+    out.extend_from_slice(&heap.start.0.to_le_bytes());
+    out.extend_from_slice(&heap.end.0.to_le_bytes());
+    out.extend_from_slice(&(pages.len() as u64).to_le_bytes());
+    for (id, bytes) in pages {
+        out.extend_from_slice(&id.to_le_bytes());
+        out.extend_from_slice(&bytes[..]);
+    }
+    out.extend_from_slice(&(packed.len() as u64).to_le_bytes());
+    out.extend_from_slice(&packed);
+    let sum = fnv1a64(&out);
+    out.extend_from_slice(&sum.to_le_bytes());
+    out
+}
+
+/// Decodes and fully validates one entry (inverse of [`encode_entry`]).
+///
+/// # Errors
+///
+/// Names the first structural problem; never panics on any input.
+pub fn decode_entry(bytes: &[u8]) -> Result<(PackedTrace, Memory, HeapRange), String> {
+    if bytes.len() < 8 {
+        return Err("truncated: shorter than the checksum alone".into());
+    }
+    let (body, sum_bytes) = bytes.split_at(bytes.len() - 8);
+    let want = u64::from_le_bytes(sum_bytes.try_into().expect("8 bytes"));
+    if fnv1a64(body) != want {
+        return Err("checksum mismatch (corrupt or torn entry)".into());
+    }
+    let mut c = Cur { b: body, at: 0 };
+    if c.take(4)? != MAGIC {
+        return Err("bad magic (not a trace-cache entry)".into());
+    }
+    let version = u32::from_le_bytes(c.take(4)?.try_into().expect("4 bytes"));
+    if version != VERSION {
+        return Err(format!("stale entry version {version} (current {VERSION})"));
+    }
+    let heap = HeapRange {
+        start: Addr(c.u64()?),
+        end: Addr(c.u64()?),
+    };
+    let n_pages = c.u64()?;
+    // Guard the allocation before trusting the count: every page costs
+    // 8 + 4096 bytes of payload, so the count is bounded by what is
+    // actually present.
+    let per_page = (8 + PAGE_BYTES) as u64;
+    if n_pages > (body.len() as u64 - c.at as u64) / per_page {
+        return Err(format!("truncated: claims {n_pages} pages beyond the payload"));
+    }
+    let mut mem = Memory::new();
+    for _ in 0..n_pages {
+        let id = c.u64()?;
+        let page: &[u8; PAGE_BYTES] = c
+            .take(PAGE_BYTES)?
+            .try_into()
+            .expect("length checked by take");
+        mem.restore_page(id, page);
+    }
+    let packed_len = c.u64()?;
+    if packed_len > (body.len() - c.at) as u64 {
+        return Err("truncated: packed trace length exceeds the payload".into());
+    }
+    let trace = PackedTrace::from_bytes(c.take(packed_len as usize)?)
+        .map_err(|e| format!("embedded packed trace: {e}"))?;
+    if c.at != body.len() {
+        return Err(format!("trailing bytes: {} unread", body.len() - c.at));
+    }
+    Ok((trace, mem, heap))
+}
+
+struct Cur<'a> {
+    b: &'a [u8],
+    at: usize,
+}
+
+impl<'a> Cur<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], String> {
+        if self.b.len() - self.at < n {
+            return Err(format!("truncated at byte {}", self.at));
+        }
+        let s = &self.b[self.at..self.at + n];
+        self.at += n;
+        Ok(s)
+    }
+
+    fn u64(&mut self) -> Result<u64, String> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8 bytes")))
+    }
+}
+
+/// Stable fingerprint of a compiler configuration for the entry name.
+/// `None` (hint-blind schemes) and every distinct `AnalysisConfig`
+/// hash apart; configurations equal under `PartialEq` hash together.
+pub fn cc_fingerprint(cc: Option<&AnalysisConfig>) -> u64 {
+    match cc {
+        None => fnv1a64(b"no-hints"),
+        // Every field is encoded explicitly so the fingerprint is a
+        // function of the configuration's *values*, not of any derived
+        // formatting.
+        Some(c) => {
+            let mut bytes = Vec::with_capacity(64);
+            bytes.extend_from_slice(&c.l2_bytes.to_le_bytes());
+            bytes.push(match c.policy {
+                grp_compiler::SpatialPolicy::Conservative => 0,
+                grp_compiler::SpatialPolicy::Default => 1,
+                grp_compiler::SpatialPolicy::Aggressive => 2,
+            });
+            bytes.push(c.spatial as u8);
+            bytes.push(c.pointer as u8);
+            bytes.push(c.indirect as u8);
+            bytes.push(c.varsize as u8);
+            bytes.extend_from_slice(&c.small_stride_max.to_le_bytes());
+            bytes.extend_from_slice(&c.spatial_stride_max.to_le_bytes());
+            fnv1a64(&bytes)
+        }
+    }
+}
+
+fn scale_tag(scale: Scale) -> &'static str {
+    match scale {
+        Scale::Test => "test",
+        Scale::Small => "small",
+        Scale::Paper => "paper",
+    }
+}
+
+fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use grp_core::{run_trace_packed, Scheme, SimConfig};
+
+    fn scratch(name: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("grp-tracecache-{}-{name}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn sample() -> (PackedTrace, Memory, HeapRange) {
+        let built = grp_workloads::by_name("twolf").expect("registered").build(Scale::Test);
+        let cc = Scheme::GrpVar.compiler_config();
+        let (trace, mem) = built.trace(cc.as_ref());
+        let pt = PackedTrace::pack(&trace).expect("packs");
+        (pt, mem, built.heap)
+    }
+
+    #[test]
+    fn store_then_load_round_trips_and_replays_identically() {
+        let dir = scratch("roundtrip");
+        let cache = TraceCache::new(&dir);
+        let (pt, mem, heap) = sample();
+        let cc = Scheme::GrpVar.compiler_config();
+        assert!(cache.load("twolf", Scale::Test, cc.as_ref()).is_none(), "cold cache misses");
+        cache
+            .store("twolf", Scale::Test, cc.as_ref(), &pt, &mem, heap)
+            .expect("store");
+        let (pt2, mem2, heap2) = cache.load("twolf", Scale::Test, cc.as_ref()).expect("hit");
+        assert_eq!(pt, pt2, "packed trace survives the disk round trip");
+        assert_eq!(heap, heap2);
+        assert_eq!(mem.resident_pages(), mem2.resident_pages());
+        // The replayed result from the cached entry is bit-identical.
+        let cfg = SimConfig::paper();
+        let a = run_trace_packed(&pt, &mem, heap, Scheme::GrpVar, &cfg);
+        let b = run_trace_packed(&pt2, &mem2, heap2, Scheme::GrpVar, &cfg);
+        assert_eq!(a, b);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn key_separates_kernel_scale_and_config() {
+        let cache = TraceCache::new("/tmp/unused");
+        let var = Scheme::GrpVar.compiler_config();
+        let fix = Scheme::GrpFix.compiler_config();
+        let base = cache.entry_path("twolf", Scale::Test, var.as_ref());
+        assert_ne!(base, cache.entry_path("mcf", Scale::Test, var.as_ref()));
+        assert_ne!(base, cache.entry_path("twolf", Scale::Small, var.as_ref()));
+        assert_ne!(base, cache.entry_path("twolf", Scale::Test, fix.as_ref()));
+        assert_ne!(base, cache.entry_path("twolf", Scale::Test, None));
+        // Schemes sharing a config share the entry (7 hint-blind schemes).
+        assert_eq!(
+            cache.entry_path("twolf", Scale::Test, Scheme::Srp.compiler_config().as_ref()),
+            cache.entry_path("twolf", Scale::Test, Scheme::NoPrefetch.compiler_config().as_ref()),
+        );
+    }
+
+    #[test]
+    fn corrupt_and_stale_entries_read_as_misses_with_named_reasons() {
+        let dir = scratch("corrupt");
+        let cache = TraceCache::new(&dir);
+        let (pt, mem, heap) = sample();
+        cache.store("twolf", Scale::Test, None, &pt, &mem, heap).expect("store");
+        let path = cache.entry_path("twolf", Scale::Test, None);
+        let good = std::fs::read(&path).expect("entry exists");
+
+        // Flipped byte mid-payload: checksum catches it.
+        let mut bad = good.clone();
+        let mid = bad.len() / 2;
+        bad[mid] ^= 0x40;
+        std::fs::write(&path, &bad).unwrap();
+        let err = cache.probe("twolf", Scale::Test, None).unwrap_err();
+        assert!(err.contains("checksum mismatch"), "{err}");
+        assert!(cache.load("twolf", Scale::Test, None).is_none(), "corrupt reads as a miss");
+
+        // Truncation at every decile: a miss, never a panic.
+        for i in 1..10 {
+            std::fs::write(&path, &good[..good.len() * i / 10]).unwrap();
+            assert!(
+                cache.load("twolf", Scale::Test, None).is_none(),
+                "truncated to {i}0% must miss"
+            );
+        }
+
+        // Stale version: rebuild, not crash. (Re-checksum so the version
+        // field is the first failure seen.)
+        let mut stale = good.clone();
+        stale[4..8].copy_from_slice(&99u32.to_le_bytes());
+        let body_len = stale.len() - 8;
+        let sum = fnv1a64(&stale[..body_len]);
+        stale[body_len..].copy_from_slice(&sum.to_le_bytes());
+        std::fs::write(&path, &stale).unwrap();
+        let err = cache.probe("twolf", Scale::Test, None).unwrap_err();
+        assert!(err.contains("stale entry version 99"), "{err}");
+
+        // Wrong magic.
+        let mut nomagic = good.clone();
+        nomagic[0..4].copy_from_slice(b"NOPE");
+        let sum = fnv1a64(&nomagic[..body_len]);
+        nomagic[body_len..].copy_from_slice(&sum.to_le_bytes());
+        std::fs::write(&path, &nomagic).unwrap();
+        let err = cache.probe("twolf", Scale::Test, None).unwrap_err();
+        assert!(err.contains("bad magic"), "{err}");
+
+        // Overwriting with a fresh store recovers.
+        cache.store("twolf", Scale::Test, None, &pt, &mem, heap).expect("re-store");
+        assert!(cache.load("twolf", Scale::Test, None).is_some());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn fingerprint_is_value_stable() {
+        let a = cc_fingerprint(Some(&AnalysisConfig::default()));
+        let b = cc_fingerprint(Some(&AnalysisConfig::grp_var()));
+        assert_eq!(a, b, "equal configs fingerprint together");
+        assert_ne!(a, cc_fingerprint(Some(&AnalysisConfig::grp_fix())));
+        assert_ne!(a, cc_fingerprint(Some(&AnalysisConfig::aggressive())));
+        assert_ne!(a, cc_fingerprint(None));
+    }
+}

@@ -159,3 +159,39 @@ fn suite_precompute_cells_matches_serial_suite() {
         }
     }
 }
+
+/// The deal is driven by [`sched::cell_weight`]; after the packed-tier
+/// recalibration the table must still rank the measured-heavy cells
+/// first so every worker opens on one of the biggest cells.
+#[test]
+fn dealing_stays_largest_first_under_the_packed_cost_model() {
+    // (bzip2, SRP-class) is the measured heaviest cell of the grid.
+    let heaviest = sched::cell_weight("bzip2", Scheme::Srp);
+    for w in all() {
+        for scheme in Scheme::ALL {
+            assert!(
+                sched::cell_weight(w.name, scheme) <= heaviest,
+                "{}/{scheme} outweighs the known-heaviest cell",
+                w.name
+            );
+        }
+    }
+    // Relative spot-checks straight off the measured packed replay wall.
+    assert!(sched::cell_weight("bzip2", Scheme::Srp) > sched::cell_weight("swim", Scheme::Srp));
+    assert!(
+        sched::cell_weight("swim", Scheme::NoPrefetch)
+            > sched::cell_weight("mcf", Scheme::NoPrefetch)
+    );
+    assert!(sched::cell_weight("gzip", Scheme::Srp) > sched::cell_weight("gzip", Scheme::GrpVar));
+    assert!(
+        sched::cell_weight("gzip", Scheme::GrpVar) > sched::cell_weight("gzip", Scheme::NoPrefetch)
+    );
+    assert!(
+        sched::cell_weight("gzip", Scheme::NoPrefetch)
+            > sched::cell_weight("gzip", Scheme::PerfectL1)
+    );
+    // largest_first reorders through the same table, so the heaviest
+    // kernel leads regardless of submission order.
+    let order = sched::largest_first(&["mcf", "swim", "bzip2", "crafty"]);
+    assert_eq!(order[0], "bzip2");
+}

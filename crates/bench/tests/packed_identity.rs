@@ -1,0 +1,27 @@
+//! Packed-vs-materialized determinism gate: the packed replay tier must
+//! produce byte-identical results to the enum-event replay for **every**
+//! registered kernel under **every** scheme. Any divergence in any
+//! counter of any cell fails with the cell named.
+
+use grp_core::{Scheme, SimConfig};
+use grp_workloads::Scale;
+
+#[test]
+fn packed_replay_matches_materialized_all_kernels_all_schemes() {
+    let cfg = SimConfig::paper();
+    let kernels = grp_workloads::all();
+    assert_eq!(kernels.len(), 18, "grid covers the full registry");
+    assert_eq!(Scheme::ALL.len(), 12, "grid covers every scheme");
+    for w in kernels {
+        let built = w.build(Scale::Test);
+        for scheme in Scheme::ALL {
+            let materialized = built.run(scheme, &cfg);
+            let packed = built.run_packed(scheme, &cfg);
+            assert_eq!(
+                materialized, packed,
+                "{}/{scheme:?}: packed replay diverged",
+                w.name
+            );
+        }
+    }
+}

@@ -37,6 +37,10 @@ pub struct EngineStats {
     pub pointer_entries: u64,
     /// Entries created by indirect prefetch instructions.
     pub indirect_entries: u64,
+    /// Indirect index elements dropped because `base + idx * elem_size`
+    /// left the address space (negative or > u64::MAX) — corrupt or
+    /// uninitialized index data must not prefetch wrapped garbage.
+    pub indirect_dropped: u64,
     /// Histogram of allocated region sizes, indexed by log2(blocks)
     /// (index 0 = 1 block … index 6 = 64 blocks).
     pub region_size_hist: [u64; 7],

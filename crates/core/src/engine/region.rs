@@ -9,11 +9,12 @@
 
 use grp_cpu::{HintSet, RefId};
 use grp_mem::{
-    Addr, BlockAddr, Cache, Dram, HeapRange, Memory, MshrFile, RegionAddr, REGION_BLOCKS,
+    Addr, BlockAddr, Cache, Dram, FastMap, HeapRange, Memory, MshrFile, RegionAddr,
+    REGION_BLOCKS,
 };
-use std::collections::HashMap;
 
 use super::{Candidate, EngineStats, Prefetcher};
+
 use crate::obs::{EngineEvent, SquashReason};
 
 /// When the engine scans returned lines for pointers.
@@ -116,12 +117,14 @@ struct RegionEntry {
     index: u8,
     /// Pointer-chase depth to attach to issued prefetches.
     pointer_level: u8,
-    /// True once a full scan has checked every set bit against L2/MSHR
-    /// residency. Stale bits can only originate when a bit is first set
+    /// Bits whose block has been probed against L2/MSHR residency and
+    /// survived. Stale bits can only originate when a bit is first set
     /// (a block *entering* the cache or the MSHR file always clears its
-    /// own candidate bit at that moment), so bits that survive one sweep
-    /// can never become stale — later scans skip the residency probes.
-    swept: bool,
+    /// own candidate bit at that moment), so a bit that survives one
+    /// probe can never become stale — later scans skip its residency
+    /// probes. Tracked per bit (not per entry) so an entry that keeps
+    /// yielding candidates doesn't re-probe its prefix on every take.
+    checked: u64,
 }
 
 impl RegionEntry {
@@ -156,7 +159,7 @@ pub struct RegionPrefetcher {
     /// region base → slot id, for O(1) entry lookup on demand misses and
     /// pointer/indirect enqueues. Only probed by key, never iterated, so
     /// it cannot perturb determinism.
-    index: HashMap<u64, u32>,
+    index: FastMap<u64, u32>,
     loop_bound: u32,
     stats: EngineStats,
     /// Buffer queued/squashed lifecycle events for the observer layer.
@@ -183,7 +186,7 @@ impl RegionPrefetcher {
             head: NIL,
             tail: NIL,
             len: 0,
-            index: HashMap::with_capacity(cfg.queue_capacity * 2),
+            index: FastMap::with_capacity_and_hasher(cfg.queue_capacity * 2, Default::default()),
             loop_bound: 0,
             stats: EngineStats::default(),
             trace: false,
@@ -443,7 +446,7 @@ impl RegionPrefetcher {
             bits,
             index: next_idx,
             pointer_level: plevel,
-            swept: false,
+            checked: 0,
         });
     }
 
@@ -461,8 +464,9 @@ impl RegionPrefetcher {
                 self.events.push(EngineEvent::queued(block));
             }
             e.bits |= 1u64 << bit;
-            // The new bit has not been checked against the MSHR file.
-            e.swept = false;
+            // The (re-)enqueued bit has not been checked against the
+            // MSHR file; other bits keep their probe status.
+            e.checked &= !(1u64 << bit);
             e.pointer_level = e.pointer_level.max(plevel);
             self.push_entry(e);
         } else {
@@ -474,7 +478,7 @@ impl RegionPrefetcher {
                 bits: 1u64 << bit,
                 index: bit,
                 pointer_level: plevel,
-                swept: false,
+                checked: 0,
             });
         }
     }
@@ -500,6 +504,10 @@ impl RegionPrefetcher {
     /// Returns the candidate (or `None` when the entry is blocked — busy
     /// channel / closed row under `require_open`) plus a flag telling the
     /// caller whether the slot was removed because the entry drained.
+    ///
+    /// `idle_masks` is the per-fold idle-channel mask table from
+    /// [`Dram::region_idle_masks`] (computed once per scan pass and
+    /// shared across entries); `None` selects the per-block probe loop.
     fn take_from_slot(
         &mut self,
         id: u32,
@@ -508,6 +516,7 @@ impl RegionPrefetcher {
         dram: &Dram,
         now: u64,
         require_open: bool,
+        idle_masks: Option<&[u64; 8]>,
     ) -> (Option<Candidate>, bool) {
         let e = &mut self.slots[id as usize].entry;
         // Scan candidates in index order (forward from the miss block,
@@ -516,27 +525,100 @@ impl RegionPrefetcher {
         // the bit vector lets `trailing_zeros` jump between set bits in
         // exactly that order, skipping the empty gaps.
         let start = e.index as u32;
-        let mut rem = e.bits.rotate_right(start);
-        let swept = e.swept;
         let mut taken: Option<(u8, BlockAddr, u8)> = None;
-        while rem != 0 {
-            let off = rem.trailing_zeros();
-            rem &= rem - 1;
-            let bit = ((start + off) % REGION_BLOCKS as u32) as u8;
-            let block = e.region.block(bit as usize);
-            if !swept && (l2.contains(block) || mshrs.contains(block)) {
-                // Stale candidate: already resident or in flight.
-                e.clear(bit);
-                if self.trace {
-                    self.events.push(EngineEvent::squashed(block, SquashReason::Stale));
+        // The mask table folds the per-bit channel/row predicates into
+        // one `allowed` word: bit `i` set iff position `i` could issue
+        // at `now`. `None` when the DRAM geometry is off the mask fast
+        // path — the loop then probes the DRAM per block (same result).
+        let allowed: Option<u64> = match idle_masks {
+            Some(masks) => {
+                let idle = masks[dram.region_fold(e.region)];
+                if require_open {
+                    dram.region_open_mask(e.region).map(|open| idle & open)
+                } else {
+                    Some(idle)
                 }
-                continue;
             }
-            if !dram.channel_idle(block, now) || (require_open && !dram.row_is_open(block)) {
-                continue; // busy/closed: leave for later, try other bits
+            None => None,
+        };
+        let unchecked = e.bits & !e.checked;
+        if unchecked == 0 {
+            // Every set bit already survived a residency probe, so the
+            // scan has no side effects and reduces to "first set bit, in
+            // rotated order, that can issue" — one AND plus
+            // `trailing_zeros` instead of a probe loop.
+            match allowed {
+                Some(allowed) => {
+                    let hit = (e.bits & allowed).rotate_right(start);
+                    if hit != 0 {
+                        let off = hit.trailing_zeros();
+                        let bit = ((start + off) % REGION_BLOCKS as u32) as u8;
+                        taken = Some((bit, e.region.block(bit as usize), e.pointer_level));
+                    }
+                }
+                None => {
+                    let mut rem = e.bits.rotate_right(start);
+                    while rem != 0 {
+                        let off = rem.trailing_zeros();
+                        rem &= rem - 1;
+                        let bit = ((start + off) % REGION_BLOCKS as u32) as u8;
+                        let block = e.region.block(bit as usize);
+                        if !dram.channel_idle(block, now)
+                            || (require_open && !dram.row_is_open(block))
+                        {
+                            continue; // busy/closed: leave for later
+                        }
+                        taken = Some((bit, block, e.pointer_level));
+                        break;
+                    }
+                }
             }
-            taken = Some((bit, block, e.pointer_level));
-            break;
+        } else {
+            // Some bits still need their first residency probe. Walk the
+            // set bits in rotated order — stale-clearing order up to the
+            // take point is observable (it decides which bits survive
+            // for later scans and the squash-event order) — but probe
+            // only the unchecked ones: survivors are recorded so no bit
+            // is ever probed twice. All probes target one region, so the
+            // MSHR half of the probe is one batched file pass (the file
+            // cannot change mid-scan), computed lazily — a scan that
+            // takes an already-checked bit first never pays for it.
+            let mut inflight: Option<u64> = None;
+            let mut rem = e.bits.rotate_right(start);
+            while rem != 0 {
+                let off = rem.trailing_zeros();
+                rem &= rem - 1;
+                let bit = ((start + off) % REGION_BLOCKS as u32) as u8;
+                let mask = 1u64 << bit;
+                if e.checked & mask == 0 {
+                    let infl =
+                        *inflight.get_or_insert_with(|| mshrs.region_mask(e.region));
+                    let block = e.region.block(bit as usize);
+                    if infl & mask != 0 || l2.contains(block) {
+                        // Stale candidate: already resident or in flight.
+                        e.clear(bit);
+                        if self.trace {
+                            self.events
+                                .push(EngineEvent::squashed(block, SquashReason::Stale));
+                        }
+                        continue;
+                    }
+                    e.checked |= mask;
+                }
+                let issuable = match allowed {
+                    Some(allowed) => allowed & mask != 0,
+                    None => {
+                        let block = e.region.block(bit as usize);
+                        dram.channel_idle(block, now)
+                            && (!require_open || dram.row_is_open(block))
+                    }
+                };
+                if !issuable {
+                    continue; // busy/closed: leave for later, try other bits
+                }
+                taken = Some((bit, e.region.block(bit as usize), e.pointer_level));
+                break;
+            }
         }
         match taken {
             Some((bit, block, level)) => {
@@ -557,8 +639,8 @@ impl RegionPrefetcher {
             }
             None => {
                 // Every set bit was examined; survivors are permanently
-                // non-stale (see `RegionEntry::swept`).
-                e.swept = true;
+                // non-stale (see `RegionEntry::checked`).
+                e.checked = e.bits;
                 let drained = e.bits == 0;
                 if drained {
                     // Drained entirely by stale-clearing.
@@ -629,15 +711,22 @@ impl Prefetcher for RegionPrefetcher {
         l2: &Cache,
     ) {
         // §3.3.3: read the cache block containing &b[i]; for each 4-byte
-        // word, prefetch base + scaled index — up to 16 prefetches.
+        // word, prefetch base + scaled index — up to 16 prefetches. The
+        // index block may hold uninitialized or corrupt data (the engine
+        // reads whatever sits in the line), so the scaled target is
+        // computed in 128-bit and gated to the address space: a negative
+        // or overflowed result is dropped, not wrapped into a garbage
+        // prefetch.
         let words = mem.read_block_words_u32(index_addr.block());
         for w in words {
-            let idx = w as i32 as i64;
-            let target = Addr(
-                (base.0 as i64).wrapping_add(idx.wrapping_mul(elem_size as i64)) as u64,
-            );
+            let idx = w as i32 as i128;
+            let target = base.0 as i128 + idx * elem_size as i128;
+            if target < 0 || target > u64::MAX as i128 {
+                self.stats.indirect_dropped += 1;
+                continue;
+            }
             self.stats.indirect_entries += 1;
-            self.enqueue_block(target.block(), 0, l2);
+            self.enqueue_block(Addr(target as u64).block(), 0, l2);
         }
     }
 
@@ -652,6 +741,11 @@ impl Prefetcher for RegionPrefetcher {
         dram: &Dram,
         now: u64,
     ) -> Option<Candidate> {
+        // One idle-mask table serves every entry in both passes: the
+        // masks depend only on `now` and the channel states, which a
+        // scan never mutates.
+        let idle_masks = dram.region_idle_masks(now);
+        let idle_masks = idle_masks.as_ref();
         // Pass 1: among the first `probe_depth` entries, prefer a
         // candidate whose DRAM row is already open (§3.1). Entries that
         // drain during the probe don't count against the depth — their
@@ -660,7 +754,7 @@ impl Prefetcher for RegionPrefetcher {
         let mut cur = self.head;
         while cur != NIL && probes < self.cfg.probe_depth {
             let next = self.slots[cur as usize].next;
-            let (c, removed) = self.take_from_slot(cur, l2, mshrs, dram, now, true);
+            let (c, removed) = self.take_from_slot(cur, l2, mshrs, dram, now, true, idle_masks);
             if let Some(c) = c {
                 return Some(c);
             }
@@ -674,7 +768,7 @@ impl Prefetcher for RegionPrefetcher {
         let mut cur = self.head;
         while cur != NIL {
             let next = self.slots[cur as usize].next;
-            let (c, _removed) = self.take_from_slot(cur, l2, mshrs, dram, now, false);
+            let (c, _removed) = self.take_from_slot(cur, l2, mshrs, dram, now, false, idle_masks);
             if let Some(c) = c {
                 return Some(c);
             }
@@ -696,15 +790,28 @@ impl Prefetcher for RegionPrefetcher {
         let mut cur = self.head;
         while cur != NIL && seen != all {
             let e = &self.slots[cur as usize].entry;
-            let mut rem = e.bits;
-            while rem != 0 && seen != all {
-                let bit = rem.trailing_zeros();
-                rem &= rem - 1;
-                let block = e.region.block(bit as usize);
-                let ch = dram.channel_of(block);
-                if seen & (1u64 << ch) == 0 {
-                    seen |= 1u64 << ch;
-                    t = t.min(dram.channel_free_at(block));
+            // The min over an entry only depends on *which* channels its
+            // bits map to, so the mask path folds the per-bit walk into
+            // one channel-set lookup per entry.
+            if let Some(chs) = dram.region_channel_set(e.region, e.bits) {
+                let mut fresh = chs & !seen;
+                seen |= fresh;
+                while fresh != 0 {
+                    let ch = fresh.trailing_zeros() as usize;
+                    fresh &= fresh - 1;
+                    t = t.min(dram.channel_free_at_index(ch));
+                }
+            } else {
+                let mut rem = e.bits;
+                while rem != 0 && seen != all {
+                    let bit = rem.trailing_zeros();
+                    rem &= rem - 1;
+                    let block = e.region.block(bit as usize);
+                    let ch = dram.channel_of(block);
+                    if seen & (1u64 << ch) == 0 {
+                        seen |= 1u64 << ch;
+                        t = t.min(dram.channel_free_at(block));
+                    }
                 }
             }
             cur = self.slots[cur as usize].next;
@@ -999,6 +1106,53 @@ mod tests {
         assert!(targets.contains(&base.block()));
         assert!(targets.contains(&base.offset(800).block()));
         assert_eq!(p.stats().indirect_entries, 16);
+    }
+
+    #[test]
+    fn indirect_prefetch_drops_wrapped_targets() {
+        // Regression: a negative index whose scaled offset exceeds the
+        // base used to wrap through `as u64` and prefetch a garbage
+        // high address. Such out-of-space targets must be dropped and
+        // counted, while in-range negative offsets still prefetch.
+        let (mut p, l2, mshrs, dram, mut m) = fresh(RegionConfig::grp(32, false, 6));
+        let index_addr = Addr(0x50_0000);
+        m.write_i32(index_addr, -1_000_000); // wraps below zero: dropped
+        m.write_i32(index_addr.offset(4), i32::MIN); // extreme corrupt index: dropped
+        m.write_i32(index_addr.offset(8), -2); // base - 16: valid backward target
+        m.write_i32(index_addr.offset(12), 4); // base + 32: valid forward target
+        for i in 4..16 {
+            m.write_i32(index_addr.offset(i * 4), i32::MAX); // overflow u64? no — gate only negatives here
+        }
+        let base = Addr(0x60_0000);
+        p.indirect_prefetch(base, 8, index_addr, &m, &l2);
+        assert_eq!(p.stats().indirect_dropped, 2, "both wrapped targets dropped");
+        assert_eq!(p.stats().indirect_entries, 14);
+        let mut targets = Vec::new();
+        let mut now = 0;
+        while let Some(c) = p.next_candidate(&l2, &mshrs, &dram, now) {
+            targets.push(c.block);
+            now += 10_000;
+        }
+        assert!(targets.contains(&base.offset(-16).block()));
+        assert!(targets.contains(&base.offset(32).block()));
+        // No wrapped high-half address ever enters the queue.
+        assert!(targets.iter().all(|b| b.base().0 < (1u64 << 48)));
+    }
+
+    #[test]
+    fn indirect_prefetch_drops_overflowed_targets() {
+        // The symmetric overflow case: a huge base plus a large positive
+        // scaled index leaves the 64-bit space and must be dropped.
+        let (mut p, l2, _mshrs, _dram, mut m) = fresh(RegionConfig::grp(32, false, 6));
+        let index_addr = Addr(0x50_0000);
+        for i in 0..16 {
+            m.write_i32(index_addr.offset(i * 4), i32::MAX);
+        }
+        let base = Addr(u64::MAX - 64);
+        p.indirect_prefetch(base, 1 << 20, index_addr, &m, &l2);
+        assert_eq!(p.stats().indirect_dropped, 16);
+        assert_eq!(p.stats().indirect_entries, 0);
+        assert!(!p.has_candidates());
     }
 
     #[test]

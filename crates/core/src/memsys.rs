@@ -13,7 +13,9 @@
 //! action ([`MemSystem::advance_to`]).
 
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashSet};
+use std::collections::BinaryHeap;
+
+use grp_mem::FastSet;
 
 use grp_cpu::{HintSet, RefId};
 use grp_mem::{
@@ -129,7 +131,7 @@ pub struct MemSystem<'m, O: Observer = NullObserver> {
     faults: Option<FaultState>,
     /// Blocks whose in-flight prefetch fill was marked dropped at issue
     /// time. Only probed by key, never iterated.
-    dropped_marks: HashSet<u64>,
+    dropped_marks: FastSet<u64>,
     /// Deliberately injected bug (`--inject drop-leak`): a dropped fill
     /// forgets to release its MSHR register. Never set in production.
     fault_drop_leak: bool,
@@ -196,7 +198,7 @@ impl<'m, O: Observer> MemSystem<'m, O> {
             epoch_events: 0,
             epoch_instructions: 0,
             faults: None,
-            dropped_marks: HashSet::new(),
+            dropped_marks: FastSet::default(),
             fault_drop_leak: false,
         }
     }

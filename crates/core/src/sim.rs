@@ -1,7 +1,8 @@
 //! The trace-replay simulator: core window + memory system.
 
-use grp_cpu::{Trace, TraceEvent, Window};
-use grp_mem::{HeapRange, Memory, TrafficStats};
+use grp_cpu::packed::{PseudoKind, FLAG_STORE, NO_DEP};
+use grp_cpu::{PackedTrace, RefId, Trace, TraceEvent, Window};
+use grp_mem::{Addr, HeapRange, Memory, TrafficStats};
 
 use crate::config::{Scheme, SimConfig};
 use crate::engine::region::{RegionConfig, RegionPrefetcher};
@@ -59,6 +60,109 @@ pub fn run_trace(
 ) -> RunResult {
     let engine = engine_for(scheme, cfg);
     run_trace_with_engine(trace, mem, heap, scheme, cfg, engine)
+}
+
+/// Replays a packed trace through the timing model — the fast tier.
+///
+/// The loop streams the packed struct-of-arrays directly: no per-event
+/// enum dispatch, with the rare pseudo-events consulted from the sorted
+/// side table. It reproduces the exact call sequence [`run_trace`] makes
+/// into the window and memory system, so for any trace `t` the result is
+/// bit-identical to `run_trace(&t, ..)` on `PackedTrace::pack(&t)` (the
+/// `packed_replay_matches_materialized` determinism suite enforces this
+/// across every kernel × scheme).
+pub fn run_trace_packed(
+    pt: &PackedTrace,
+    mem: &Memory,
+    heap: HeapRange,
+    scheme: Scheme,
+    cfg: &SimConfig,
+) -> RunResult {
+    let engine = engine_for(scheme, cfg);
+    let mut window = Window::new(cfg.window);
+    let mut ms =
+        MemSystem::with_observer(*cfg, scheme.ideal_mode(), engine, mem, heap, NullObserver);
+    let mut load_completions: Vec<u64> = Vec::with_capacity(pt.loads() as usize);
+    let mut load_latency_sum = 0u64;
+
+    let (addrs, ref_ids, hints, flags, deps, pre_compute) = (
+        pt.addrs(),
+        pt.ref_ids(),
+        pt.hints(),
+        pt.flags(),
+        pt.deps(),
+        pt.pre_compute(),
+    );
+    let pseudos = pt.pseudos();
+    let mut pi = 0usize;
+    let fire_pseudo = |kind: PseudoKind, window: &mut Window, ms: &mut MemSystem<_>| match kind
+    {
+        PseudoKind::Compute(n) => window.dispatch_compute(n as u64),
+        PseudoKind::SetLoopBound(b) => {
+            let d = window.prepare_dispatch(1);
+            ms.set_loop_bound(b);
+            window.push(1, d + 1);
+        }
+        PseudoKind::IndirectPrefetch {
+            base,
+            elem_size,
+            index_addr,
+            ..
+        } => {
+            let d = window.prepare_dispatch(1);
+            ms.indirect_prefetch(base, elem_size, index_addr, d);
+            window.push(1, d + 1);
+        }
+    };
+
+    for i in 0..pt.n_ops() {
+        while pi < pseudos.len() && pseudos[pi].at_op as usize == i {
+            fire_pseudo(pseudos[pi].kind, &mut window, &mut ms);
+            pi += 1;
+        }
+        let pc = pre_compute[i];
+        if pc != 0 {
+            window.dispatch_compute(pc as u64);
+        }
+        let d = window.prepare_dispatch(1);
+        let (addr, ref_id, h) = (Addr(addrs[i]), RefId(ref_ids[i]), hints[i]);
+        if flags[i] & FLAG_STORE != 0 {
+            ms.store(addr, d, ref_id, h);
+            window.push(1, d + 1);
+        } else {
+            let dep = deps[i];
+            let issue = if dep != NO_DEP {
+                d.max(load_completions[dep as usize])
+            } else {
+                d
+            };
+            let done = ms.load(addr, issue, ref_id, h);
+            load_latency_sum += done - issue;
+            load_completions.push(done);
+            window.push(1, done);
+        }
+    }
+    while pi < pseudos.len() {
+        fire_pseudo(pseudos[pi].kind, &mut window, &mut ms);
+        pi += 1;
+    }
+
+    let cycles = window.finish();
+    ms.finish(cycles);
+    RunResult {
+        scheme,
+        cycles,
+        instructions: window.retired(),
+        l1: *ms.l1().stats(),
+        l2: *ms.l2().stats(),
+        traffic: TrafficStats::from_dram(ms.dram().stats()),
+        engine: ms.engine().stats(),
+        prefetches_issued: ms.prefetches_issued(),
+        late_prefetch_merges: ms.l2_mshrs().late_prefetch_merges(),
+        resident_unused_prefetches: ms.l2().resident_unused_prefetches(),
+        attribution: ms.attribution().clone(),
+        load_latency_sum,
+    }
 }
 
 /// Like [`run_trace`], with a caller-supplied engine (ablation studies).
@@ -408,6 +512,81 @@ mod tests {
         );
         // But performance must not collapse (prioritizer protects demand).
         assert!(srp.cycles < base.cycles * 21 / 20);
+    }
+
+    #[test]
+    fn indirect_prefetch_drops_negative_indices_in_replay() {
+        // Regression: an index block holding negative (corrupt or
+        // uninitialized) i32 values used to wrap `base + idx * elem_size`
+        // into a garbage high address and prefetch it. The engine must
+        // drop out-of-range targets and count them, while still issuing
+        // the valid entries from the same block.
+        let mut mem = Memory::new();
+        let index_addr = Addr(0x20_0000);
+        for w in 0..16u64 {
+            let v: i32 = match w % 4 {
+                0 => i32::MIN,
+                1 => -0x20_0000, // scaled past the base: target < 0
+                _ => (w as i32) * 3,
+            };
+            mem.write_i32(Addr(index_addr.0 + w * 4), v);
+        }
+        let cfg = SimConfig::paper();
+        let mut t = Trace::new();
+        t.push_load(index_addr, 4, RefId(0), HintSet::none(), None);
+        t.push_indirect_prefetch(Addr(0x40_0000), 4, index_addr, RefId(0));
+        // Follow-on loads give the engine access slots to drain its queue.
+        for i in 0..256u64 {
+            t.push_load(Addr(0x60_0000 + i * 64), 8, RefId(1), HintSet::none(), None);
+            t.push_compute(8);
+        }
+        t.finish();
+        for scheme in [Scheme::GrpVar, Scheme::GrpPointer] {
+            let r = run_trace(&t, &mem, heap(), scheme, &cfg);
+            // 16 words per index block: 8 negative (w % 4 in {0, 1}),
+            // 8 valid.
+            assert_eq!(r.engine.indirect_dropped, 8, "{scheme:?}");
+            assert_eq!(r.engine.indirect_entries, 8, "{scheme:?}");
+        }
+    }
+
+    #[test]
+    fn packed_replay_is_bit_identical_to_materialized() {
+        let mem = Memory::new();
+        let cfg = SimConfig::paper();
+        // A trace exercising every packed representation feature: deps
+        // (chained loads), stores, pseudo-events adjacent to computes.
+        let mut t = Trace::new();
+        let mut prev = None;
+        for i in 0..4_000u64 {
+            let s = t.push_load(
+                Addr(0x20_0000 + (i * 8) % 0x4_0000),
+                8,
+                RefId((i % 7) as u32),
+                HintSet::none().with_spatial(),
+                if i % 5 == 0 { prev } else { None },
+            );
+            prev = Some(s);
+            if i % 3 == 0 {
+                t.push_store(Addr(0x30_0000 + i * 16), 8, RefId(9), HintSet::none());
+            }
+            if i % 64 == 0 {
+                t.push_compute(10);
+                t.push_set_loop_bound((i % 1000) as u32);
+                t.push_compute(5);
+            }
+            if i % 97 == 0 {
+                t.push_indirect_prefetch(Addr(0x20_0000), 8, Addr(0x20_1000), RefId(11));
+            }
+            t.push_compute(4);
+        }
+        t.finish();
+        let pt = grp_cpu::PackedTrace::pack(&t).expect("pack");
+        for scheme in Scheme::ALL {
+            let materialized = run_trace(&t, &mem, heap(), scheme, &cfg);
+            let packed = run_trace_packed(&pt, &mem, heap(), scheme, &cfg);
+            assert_eq!(materialized, packed, "{scheme:?}");
+        }
     }
 
     #[test]

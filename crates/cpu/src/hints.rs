@@ -115,6 +115,25 @@ impl HintSet {
         self.flags == 0 && self.coeff == COEFF_FIXED
     }
 
+    /// The packed wire encoding: flag bits in the low byte, the raw size
+    /// coefficient in the high byte. Inverse of [`HintSet::from_bits`].
+    pub const fn to_bits(self) -> u16 {
+        ((self.coeff as u16) << 8) | self.flags as u16
+    }
+
+    /// Decodes [`HintSet::to_bits`]. Returns `None` for encodings no
+    /// builder sequence can produce (unknown flag bits or a coefficient
+    /// above the reserved fixed-size sentinel), so corrupt packed traces
+    /// surface as decode errors instead of impossible hint sets.
+    pub const fn from_bits(bits: u16) -> Option<HintSet> {
+        let flags = (bits & 0xff) as u8;
+        let coeff = (bits >> 8) as u8;
+        if flags & !(SPATIAL | POINTER | RECURSIVE) != 0 || coeff > COEFF_FIXED {
+            return None;
+        }
+        Some(HintSet { flags, coeff })
+    }
+
     /// The pointer-chase depth this reference seeds in the prefetch
     /// engine's 3-bit counter: 6 for `recursive`, 1 for `pointer`, else 0
     /// (§3.3.1; depth is configurable at the engine, this is the default).

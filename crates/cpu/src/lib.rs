@@ -21,11 +21,13 @@
 #![deny(missing_docs)]
 
 pub mod hints;
+pub mod packed;
 pub mod stats;
 pub mod trace;
 pub mod window;
 
 pub use hints::HintSet;
+pub use packed::{PackError, PackedFileError, PackedTrace, PreAnalysis};
 pub use stats::TraceStats;
 pub use trace::{RefId, Trace, TraceEvent};
 pub use window::{Window, WindowConfig};

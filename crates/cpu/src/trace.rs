@@ -104,12 +104,26 @@ impl Trace {
     }
 
     /// Appends `n` compute instructions, coalescing adjacent batches.
+    ///
+    /// A coalesced run that would overflow the `u32` batch counter is
+    /// flushed as a full `Compute(u32::MAX)` event first, so
+    /// [`Trace::instructions`] always equals the sum of
+    /// [`TraceEvent::instruction_count`] over [`Trace::events`] (it used
+    /// to saturate the pending batch while still crediting the full `n`,
+    /// silently desyncing the two past `u32::MAX`).
     pub fn push_compute(&mut self, n: u32) {
         if n == 0 {
             return;
         }
         self.instructions += n as u64;
-        self.pending_compute = self.pending_compute.saturating_add(n);
+        let room = u32::MAX - self.pending_compute;
+        if n > room {
+            self.pending_compute = u32::MAX;
+            self.flush_compute();
+            self.pending_compute = n - room;
+        } else {
+            self.pending_compute += n;
+        }
     }
 
     fn flush_compute(&mut self) {
@@ -178,6 +192,28 @@ impl Trace {
             index_addr,
             ref_id,
         });
+    }
+
+    /// Reassembles a finalized trace from its parts — the packed tier's
+    /// unpack path. Callers guarantee the counters match the event
+    /// stream (debug-asserted here).
+    pub(crate) fn from_raw_parts(
+        events: Vec<TraceEvent>,
+        loads: u64,
+        stores: u64,
+        instructions: u64,
+    ) -> Self {
+        debug_assert_eq!(
+            instructions,
+            events.iter().map(|e| e.instruction_count()).sum::<u64>()
+        );
+        Self {
+            events,
+            loads,
+            stores,
+            instructions,
+            pending_compute: 0,
+        }
     }
 
     /// Finalizes any coalesced compute tail. Idempotent.
@@ -267,6 +303,37 @@ mod tests {
         assert_eq!(t.memory_refs(), 2);
         assert_eq!(t.instructions(), 4);
         assert_eq!(t.events().len(), 4);
+    }
+
+    #[test]
+    fn compute_overflow_flushes_instead_of_saturating() {
+        // Regression: a coalesced compute run past u32::MAX used to
+        // saturate `pending_compute` while still crediting the full `n`
+        // to `instructions`, desyncing the two counts. The batch must
+        // flush at the boundary instead.
+        let mut t = Trace::new();
+        t.push_compute(u32::MAX - 10);
+        t.push_compute(25); // crosses the u32 boundary mid-batch
+        t.push_compute(7);
+        t.finish();
+        let summed: u64 = t.events().iter().map(|e| e.instruction_count()).sum();
+        assert_eq!(t.instructions(), summed, "sum identity must hold at the boundary");
+        assert_eq!(t.instructions(), (u32::MAX - 10) as u64 + 25 + 7);
+        assert_eq!(t.events()[0], TraceEvent::Compute(u32::MAX));
+        assert_eq!(t.events()[1], TraceEvent::Compute(22));
+    }
+
+    #[test]
+    fn compute_exact_boundary_fill_keeps_sum_identity() {
+        // Filling the batch to exactly u32::MAX must not emit an empty
+        // spurious event or lose the next batch.
+        let mut t = Trace::new();
+        t.push_compute(u32::MAX);
+        t.push_compute(1);
+        t.finish();
+        let summed: u64 = t.events().iter().map(|e| e.instruction_count()).sum();
+        assert_eq!(t.instructions(), summed);
+        assert_eq!(t.events(), &[TraceEvent::Compute(u32::MAX), TraceEvent::Compute(1)]);
     }
 
     #[test]

@@ -54,6 +54,10 @@ struct Batch {
 #[derive(Debug, Clone)]
 pub struct Window {
     cfg: WindowConfig,
+    // `width` as a shift amount when it is a power of two (the paper's
+    // core is 4-wide): turns the per-event slot→cycle divisions into
+    // shifts. `None` falls back to division — identical arithmetic.
+    width_shift: Option<u32>,
     entries: VecDeque<Batch>,
     occupancy: usize,
     dispatch_cycle: u64,
@@ -76,6 +80,7 @@ impl Window {
         assert!(cfg.width > 0 && cfg.capacity > 0);
         Self {
             cfg,
+            width_shift: cfg.width.is_power_of_two().then(|| cfg.width.trailing_zeros()),
             entries: VecDeque::new(),
             occupancy: 0,
             dispatch_cycle: 0,
@@ -123,11 +128,19 @@ impl Window {
         // instruction completes, and consumes `count` retire slots.
         let start_slot = self.retire_slot_next.max(b.complete_at * self.cfg.width);
         self.retire_slot_next = start_slot + b.count as u64;
-        let end = (self.retire_slot_next - 1) / self.cfg.width;
+        let end = self.div_width(self.retire_slot_next - 1);
         self.last_retire_cycle = self.last_retire_cycle.max(end);
         self.occupancy -= b.count as usize;
         self.retired += b.count as u64;
         end
+    }
+
+    #[inline]
+    fn div_width(&self, slots: u64) -> u64 {
+        match self.width_shift {
+            Some(s) => slots >> s,
+            None => slots / self.cfg.width,
+        }
     }
 
     fn advance_dispatch_to(&mut self, cycle: u64) {
@@ -172,8 +185,9 @@ impl Window {
         self.occupancy += n as usize;
         self.dispatched += n as u64;
         self.slots_used += n as u64;
-        self.dispatch_cycle += self.slots_used / self.cfg.width;
-        self.slots_used %= self.cfg.width;
+        let carry = self.div_width(self.slots_used);
+        self.dispatch_cycle += carry;
+        self.slots_used -= carry * self.cfg.width;
     }
 
     /// Dispatches `n` single-cycle (compute) instructions, chunking to the

@@ -216,13 +216,16 @@ impl Cache {
         &self.stats
     }
 
+    /// Set index of the given block under this cache's geometry — the
+    /// projection the packed tier's pre-analysis pass precomputes.
     #[inline]
-    fn set_of(&self, b: BlockAddr) -> usize {
+    pub fn set_of(&self, b: BlockAddr) -> usize {
         (b.0 as usize) & self.set_mask
     }
 
+    /// Tag of the given block under this cache's geometry.
     #[inline]
-    fn tag_of(&self, b: BlockAddr) -> u64 {
+    pub fn tag_of(&self, b: BlockAddr) -> u64 {
         b.0 >> self.tag_shift
     }
 

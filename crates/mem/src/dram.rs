@@ -18,7 +18,7 @@
 //! busy interval per channel, which slightly understates peak bandwidth
 //! but preserves the contention behaviour the paper's results rest on.
 
-use crate::addr::BlockAddr;
+use crate::addr::{BlockAddr, RegionAddr, REGION_BLOCKS};
 
 /// DRAM timing and geometry parameters (CPU cycles at 1.6 GHz).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -122,6 +122,12 @@ pub struct Dram {
     stats: DramStats,
     /// Accumulated data-bus busy cycles per channel (observer sampling).
     busy_cycles: Vec<u64>,
+    /// True when the O(1) region-scan mask path applies (see
+    /// [`Dram::region_idle_masks`]).
+    region_fast: bool,
+    /// `group_masks[g]`: bit `i` set iff region position `i` satisfies
+    /// `i & (channels - 1) == g`. Only the first `channels` slots are used.
+    group_masks: [u64; 8],
 }
 
 impl Dram {
@@ -148,11 +154,28 @@ impl Dram {
                 ],
             })
             .collect();
+        // The mask-based region scan needs (a) every region position's
+        // channel expressible as `(i ^ fold) & (channels - 1)` — true for
+        // up to 64 channels since the XOR-fold shifts align with the
+        // 6-bit region index — and (b) a whole region inside one DRAM
+        // row per channel, so one open-row probe covers all 64 blocks.
+        // The mask table caps the supported channel count at 8 (plenty:
+        // the paper uses 4); wider geometries fall back to per-block
+        // probes, which stay exact.
+        let region_fast = REGION_BLOCKS == 64
+            && cfg.channels <= 8
+            && (cfg.channels as u64) * cfg.blocks_per_row >= REGION_BLOCKS as u64;
+        let mut group_masks = [0u64; 8];
+        for i in 0..REGION_BLOCKS.min(64) {
+            group_masks[i & (cfg.channels - 1) & 7] |= 1u64 << i;
+        }
         Self {
             cfg,
             channels,
             stats: DramStats::default(),
             busy_cycles: vec![0; cfg.channels],
+            region_fast,
+            group_masks,
         }
     }
 
@@ -274,6 +297,83 @@ impl Dram {
     /// Earliest cycle at which `block`'s channel could start a new access.
     pub fn channel_free_at(&self, block: BlockAddr) -> u64 {
         self.channels[self.channel_of(block)].bus_free_at
+    }
+
+    /// Earliest cycle at which channel index `ch` could start a new access.
+    pub fn channel_free_at_index(&self, ch: usize) -> u64 {
+        self.channels[ch].bus_free_at
+    }
+
+    /// XOR-fold constant of `region`: on the fast path, the channel of
+    /// region position `i` (block `(region << 6) | i`) is
+    /// `(i ^ fold) & (channels - 1)` — the region-aligned specialization
+    /// of [`Dram::channel_of`]'s address hash.
+    #[inline]
+    pub fn region_fold(&self, region: RegionAddr) -> usize {
+        let r = region.0;
+        ((r ^ (r >> 6) ^ (r >> 12)) as usize) & (self.cfg.channels - 1)
+    }
+
+    /// Per-fold idle masks for scanning whole regions in O(1): in
+    /// `masks[k]`, bit `i` is set iff the channel serving position `i`
+    /// of a region with fold `k` is idle at `now` — so
+    /// `entry.bits & masks[fold]` prunes a candidate vector to its
+    /// issuable positions in one AND. `None` when the geometry doesn't
+    /// support the mask path; callers must then probe per block (exact
+    /// either way).
+    pub fn region_idle_masks(&self, now: u64) -> Option<[u64; 8]> {
+        if !self.region_fast {
+            return None;
+        }
+        let c = self.cfg.channels;
+        let mut masks = [0u64; 8];
+        for (ch, state) in self.channels.iter().enumerate() {
+            if state.bus_free_at <= now {
+                for (k, m) in masks.iter_mut().enumerate().take(c) {
+                    *m |= self.group_masks[(ch ^ k) & (c - 1)];
+                }
+            }
+        }
+        Some(masks)
+    }
+
+    /// Mask over a region's 64 block positions whose DRAM row is already
+    /// open in its bank (the whole region shares one row index on the
+    /// fast path, but each channel has its own bank state). `None` off
+    /// the fast path.
+    pub fn region_open_mask(&self, region: RegionAddr) -> Option<u64> {
+        if !self.region_fast {
+            return None;
+        }
+        let c = self.cfg.channels;
+        let k = self.region_fold(region);
+        let row = self.row_of(region.block(0));
+        let bank = self.bank_of_row(row);
+        let mut m = 0u64;
+        for (ch, state) in self.channels.iter().enumerate() {
+            if state.banks[bank].open_row == Some(row) {
+                m |= self.group_masks[(ch ^ k) & (c - 1)];
+            }
+        }
+        Some(m)
+    }
+
+    /// Channel-index bitmask (bit `ch` set) of the channels that the set
+    /// positions of `bits` within `region` map to. `None` off the fast
+    /// path.
+    pub fn region_channel_set(&self, region: RegionAddr, bits: u64) -> Option<u64> {
+        if !self.region_fast {
+            return None;
+        }
+        let c = self.cfg.channels;
+        let k = self.region_fold(region);
+        let mut set = 0u64;
+        for g in 0..c {
+            if bits & self.group_masks[g] != 0 {
+                set |= 1u64 << ((g ^ k) & (c - 1));
+            }
+        }
+        Some(set)
     }
 
     /// Fault-injection seam: holds `channel`'s data bus busy until cycle
@@ -465,6 +565,68 @@ mod tests {
         let mut d = dram();
         d.issue(BlockAddr(0), RequestKind::Writeback, 0);
         assert!(!d.channel_idle(BlockAddr(4), 0));
+    }
+
+    /// The mask-based region scan must agree bit-for-bit with the
+    /// per-block predicates it replaces, for every position of many
+    /// regions and several channel occupancy states.
+    #[test]
+    fn region_masks_match_per_block_probes() {
+        let mut d = dram();
+        // Dirty up the channel/bank state asymmetrically.
+        for (i, now) in [(0u64, 0u64), (5, 10), (130, 50), (4097, 200)] {
+            d.issue(BlockAddr(i), RequestKind::Demand, now);
+        }
+        d.issue(BlockAddr(64 * 9 + 3), RequestKind::Prefetch, 300);
+        for &now in &[0u64, 100, 400, 1_000] {
+            let masks = d.region_idle_masks(now).expect("default geometry is fast");
+            for r in [0u64, 1, 9, 63, 64, 0x123, 0xffff, 1 << 20] {
+                let region = RegionAddr(r);
+                let k = d.region_fold(region);
+                let open = d.region_open_mask(region).unwrap();
+                let mut bits = 0u64;
+                for i in 0..REGION_BLOCKS {
+                    let b = region.block(i);
+                    assert_eq!(
+                        d.channel_of(b),
+                        (i ^ k) & (d.config().channels - 1),
+                        "fold formula must reproduce channel_of"
+                    );
+                    assert_eq!(
+                        masks[k] & (1 << i) != 0,
+                        d.channel_idle(b, now),
+                        "idle mask bit {i} of region {r:#x} at {now}"
+                    );
+                    assert_eq!(
+                        open & (1 << i) != 0,
+                        d.row_is_open(b),
+                        "open mask bit {i} of region {r:#x}"
+                    );
+                    if i % 3 == 0 {
+                        bits |= 1 << i;
+                    }
+                }
+                let chs = d.region_channel_set(region, bits).unwrap();
+                let mut expect = 0u64;
+                for i in 0..REGION_BLOCKS {
+                    if bits & (1 << i) != 0 {
+                        expect |= 1 << d.channel_of(region.block(i));
+                    }
+                }
+                assert_eq!(chs, expect, "channel set of region {r:#x}");
+            }
+        }
+    }
+
+    #[test]
+    fn wide_geometry_falls_back_to_per_block_probes() {
+        let d = Dram::new(DramConfig {
+            channels: 16,
+            ..DramConfig::default()
+        });
+        assert!(d.region_idle_masks(0).is_none());
+        assert!(d.region_open_mask(RegionAddr(1)).is_none());
+        assert!(d.region_channel_set(RegionAddr(1), 1).is_none());
     }
 
     #[test]

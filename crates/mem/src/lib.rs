@@ -40,6 +40,7 @@ pub mod addr;
 pub mod alloc;
 pub mod cache;
 pub mod dram;
+pub mod fasthash;
 pub mod memory;
 pub mod mshr;
 pub mod oracle;
@@ -55,7 +56,8 @@ pub use cache::{
     Victim,
 };
 pub use dram::{Dram, DramConfig, DramRequest, DramStats, RequestKind};
-pub use memory::Memory;
+pub use fasthash::{FastHasher, FastMap, FastSet};
+pub use memory::{Memory, PAGE_BYTES};
 pub use mshr::{MshrEntry, MshrFile, MshrOutcome};
 pub use oracle::{OracleCache, OracleDram, OracleMshr};
 pub use stats::TrafficStats;

@@ -7,17 +7,19 @@
 //! module provides a paged, lazily-populated byte store over the full
 //! 64-bit address space.
 
-use std::collections::HashMap;
-
 use crate::addr::{Addr, BlockAddr, BLOCK_BYTES};
+use crate::fasthash::FastMap;
 
 const PAGE_SHIFT: u32 = 12;
-const PAGE_BYTES: usize = 1 << PAGE_SHIFT;
+
+/// Size of one functional-memory page — the unit of the snapshot API
+/// ([`Memory::snapshot_pages`] / [`Memory::restore_page`]).
+pub const PAGE_BYTES: usize = 1 << PAGE_SHIFT;
 
 /// A sparse functional memory. Unwritten bytes read as zero.
 #[derive(Debug, Default, Clone)]
 pub struct Memory {
-    pages: HashMap<u64, Box<[u8; PAGE_BYTES]>>,
+    pages: FastMap<u64, Box<[u8; PAGE_BYTES]>>,
 }
 
 impl Memory {
@@ -177,6 +179,23 @@ impl Memory {
         out
     }
 
+    /// Resident pages as `(page_id, bytes)` sorted by page id — a
+    /// deterministic, byte-stable serialization order for persisting a
+    /// memory image (the trace cache stores the post-interpretation
+    /// memory this way). `page_id << 12` is the page's base address.
+    pub fn snapshot_pages(&self) -> Vec<(u64, &[u8; PAGE_BYTES])> {
+        let mut pages: Vec<(u64, &[u8; PAGE_BYTES])> =
+            self.pages.iter().map(|(id, b)| (*id, &**b)).collect();
+        pages.sort_unstable_by_key(|(id, _)| *id);
+        pages
+    }
+
+    /// Installs one page wholesale at `page_id` (inverse of
+    /// [`Memory::snapshot_pages`]), replacing any resident page there.
+    pub fn restore_page(&mut self, page_id: u64, bytes: &[u8; PAGE_BYTES]) {
+        self.pages.insert(page_id, Box::new(*bytes));
+    }
+
     /// Fills `[a, a + len)` with zero, forcing the pages resident.
     pub fn zero_fill(&mut self, a: Addr, len: u64) {
         let mut cur = a.0;
@@ -270,6 +289,27 @@ mod tests {
         m.zero_fill(Addr(0x8000), 0x1000);
         assert_eq!(m.read_u64(Addr(0x8000)), 0);
         assert_eq!(m.read_u64(Addr(0x9000 - 8)), 0);
+    }
+
+    #[test]
+    fn snapshot_round_trips_sorted_by_page_id() {
+        let mut m = Memory::new();
+        // Touch pages out of id order; the snapshot must come back sorted.
+        m.write_u64(Addr(0x9000), 7);
+        m.write_u64(Addr(0x2000), 5);
+        m.write_u64(Addr(0x5ffc), 6); // straddles pages 5 and 6
+        let pages = m.snapshot_pages();
+        let ids: Vec<u64> = pages.iter().map(|(id, _)| *id).collect();
+        assert_eq!(ids, vec![2, 5, 6, 9], "sorted, one entry per resident page");
+        let mut restored = Memory::new();
+        for (id, bytes) in pages {
+            restored.restore_page(id, bytes);
+        }
+        assert_eq!(restored.resident_pages(), m.resident_pages());
+        assert_eq!(restored.read_u64(Addr(0x9000)), 7);
+        assert_eq!(restored.read_u64(Addr(0x2000)), 5);
+        assert_eq!(restored.read_u64(Addr(0x5ffc)), 6);
+        assert_eq!(restored.read_u64(Addr(0x4242_0000)), 0, "untouched stays zero");
     }
 
     #[test]

@@ -139,6 +139,21 @@ impl MshrFile {
         self.get(block).is_some()
     }
 
+    /// Bit mask over `region`'s 64 block positions that are in flight —
+    /// one pass over the (small) file instead of one `contains` scan per
+    /// position, for the region engine's batch residency probes.
+    pub fn region_mask(&self, region: crate::addr::RegionAddr) -> u64 {
+        let base = region.block(0).0;
+        let mut m = 0u64;
+        for e in &self.entries {
+            let off = e.block.0.wrapping_sub(base);
+            if off < crate::addr::REGION_BLOCKS as u64 {
+                m |= 1 << off;
+            }
+        }
+        m
+    }
+
     /// Allocates a new entry or merges into an existing one.
     ///
     /// `demand` distinguishes CPU misses from prefetch requests; `waiter`

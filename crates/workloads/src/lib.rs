@@ -125,6 +125,23 @@ impl BuiltWorkload {
         run_trace(&trace, &mem, self.heap, scheme, cfg)
     }
 
+    /// Like [`BuiltWorkload::run`] on the packed replay tier: the trace
+    /// is packed to the struct-of-arrays form and replayed without
+    /// per-event enum dispatch. Bit-identical to [`BuiltWorkload::run`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the kernel fails to interpret or its trace cannot be
+    /// packed (both are workload bugs).
+    pub fn run_packed(&self, scheme: Scheme, cfg: &SimConfig) -> RunResult {
+        let cc = scheme.compiler_config();
+        let (trace, mem) = self.trace(cc.as_ref());
+        let pt = grp_cpu::PackedTrace::pack(&trace)
+            .unwrap_or_else(|e| panic!("workload {} trace: {e}", self.program.name));
+        drop(trace);
+        grp_core::run_trace_packed(&pt, &mem, self.heap, scheme, cfg)
+    }
+
     /// Like [`BuiltWorkload::run`], threading an observer through the
     /// timing simulation and returning it alongside the result.
     pub fn run_observed<O: Observer>(&self, scheme: Scheme, cfg: &SimConfig, obs: O) -> (RunResult, O) {
