@@ -135,6 +135,7 @@ pub fn parse_replay_args(args: &[String]) -> Result<crate::sched::ReplayMode, St
     Ok(crate::sched::ReplayMode {
         packed,
         trace_cache: dir.map(|d| std::sync::Arc::new(crate::tracecache::TraceCache::new(d))),
+        telemetry: None,
     })
 }
 
@@ -144,7 +145,7 @@ pub fn parse_replay_args(args: &[String]) -> Result<crate::sched::ReplayMode, St
 pub fn jobs_from_args() -> Option<usize> {
     let args: Vec<String> = std::env::args().collect();
     parse_jobs_args(&args).unwrap_or_else(|e| {
-        eprintln!("error: {e}");
+        crate::telemetry::log::error("args", &e);
         std::process::exit(2);
     })
 }

@@ -16,6 +16,7 @@
 //! build + interpretation. Results are bit-identical either way.
 use grp_bench::json::{run_result_json, Json};
 use grp_bench::obs_export::{chrome_trace, flag_u64, flag_value, metrics_json};
+use grp_bench::telemetry::log;
 use grp_bench::{experiments, suite::scale_from_args, Suite};
 use grp_core::{EpochSampler, LifecycleTracer, ObserverPair, Scheme};
 use grp_workloads::BenchClass;
@@ -25,7 +26,7 @@ fn main() {
     let jobs = grp_bench::args::jobs_from_args();
     let argv: Vec<String> = std::env::args().collect();
     let replay = grp_bench::args::parse_replay_args(&argv).unwrap_or_else(|e| {
-        eprintln!("error: {e}");
+        log::error("all", &e);
         std::process::exit(2);
     });
     let mut suite = Suite::new(scale).verbose().with_replay(replay);
@@ -37,7 +38,7 @@ fn main() {
     suite
         .precompute_cells(&suite.all_names(), &Scheme::ALL, jobs)
         .unwrap_or_else(|e| {
-            eprintln!("error: {e}");
+            log::error("all", &e);
             std::process::exit(1);
         });
     println!("{}", experiments::figure1(&mut suite));
@@ -77,7 +78,7 @@ fn main() {
             .set("scale", format!("{scale:?}"))
             .set("benchmarks", Json::Array(benches));
         grp_bench::artifact::atomic_write(path, doc.render()).expect("write --json output");
-        eprintln!("wrote {path}");
+        log::info("all", &format!("wrote {path}"));
     }
 
     // Optional observability pass: traced GRP/Var runs over the perf set.
@@ -87,14 +88,14 @@ fn main() {
         let epoch = flag_u64(&args, "--epoch").unwrap_or(4096).max(1);
         let cfg = *suite.config();
         for name in suite.perf_names() {
-            eprintln!("  [observe] {name} / GRP/Var…");
+            log::info("all", &format!("[observe] {name} / GRP/Var…"));
             let obs = ObserverPair(LifecycleTracer::new(), EpochSampler::new(epoch));
             let built = suite.built(name);
             let (_, ObserverPair(t, sampler)) = built.run_observed(Scheme::GrpVar, &cfg, obs);
             let epochs = sampler.snapshots();
             let write = |path: String, body: String| {
                 grp_bench::artifact::atomic_write(&path, body).expect("write observability output");
-                eprintln!("wrote {path}");
+                log::info("all", &format!("wrote {path}"));
             };
             if let Some(prefix) = &trace_out {
                 write(format!("{prefix}-{name}.jsonl"), t.jsonl());

@@ -40,6 +40,12 @@
 //!     [--cases N] [--seed S] [--scale test|small|paper] [--faults] \
 //!     [--max-cycles N] [--inject none|mru-evict|unbounded-queue|drop-leak] \
 //!     [--packed] [--trace-cache <dir>]
+//! cargo run -p grp-bench --bin check -- --metrics <path> \
+//!     [--metrics-prev <path>] [--metrics-require <fam1,fam2,…>]
+//!     re-parse and validate a Prometheus text exposition written by
+//!     `serve --metrics-out` / `perf`: declared families, histogram
+//!     bucket invariants, optionally required families, and counter
+//!     monotonicity against an earlier scrape — then exit
 //! ```
 //!
 //! `--packed` prepends **phase 0**: every registry kernel × every
@@ -57,9 +63,11 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 use grp_bench::args::{strict_flag, strict_u64, strict_value};
 use grp_bench::fuzz::{materialize, FuzzPlan, Segment};
 use grp_bench::suite::parse_scale_args;
+use grp_bench::telemetry::{self, exposition, log, TelemetryObserver};
 use grp_core::{
     differential_check, differential_check_faulted, engine_for, replay_injected, run_trace,
-    run_trace_faulted, FaultPlan, InvariantObserver, OracleFault, Scheme, SimConfig,
+    run_trace_faulted, run_trace_observed_faulted, FaultPlan, InvariantObserver, OracleFault,
+    Scheme, SimConfig,
 };
 use grp_testkit::proptest::{any, greedy_shrink};
 use grp_testkit::proptest::Arbitrary;
@@ -257,12 +265,66 @@ fn fault_workout_case() -> grp_bench::fuzz::FuzzCase {
     })
 }
 
+/// The `--metrics` validator: re-parse a text exposition, enforce the
+/// histogram bucket invariants, optionally require metric families to
+/// be present, and optionally assert cumulative series are monotone
+/// against an earlier scrape of the same process.
+fn check_metrics(path: &str, prev: Option<&str>, require: Option<&str>) -> Result<String, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read: {e}"))?;
+    let parsed = exposition::validate_text(&text)?;
+    if let Some(req) = require {
+        for fam in req.split(',').map(str::trim).filter(|f| !f.is_empty()) {
+            if !parsed.types.contains_key(fam) {
+                return Err(format!("required metric family '{fam}' missing"));
+            }
+        }
+    }
+    let mut extra = String::new();
+    if let Some(prev_path) = prev {
+        let prev_text = std::fs::read_to_string(prev_path)
+            .map_err(|e| format!("cannot read {prev_path}: {e}"))?;
+        let prev_parsed =
+            exposition::validate_text(&prev_text).map_err(|e| format!("{prev_path}: {e}"))?;
+        exposition::check_monotone(&prev_parsed, &parsed)?;
+        extra = format!(", monotone vs {prev_path}");
+    }
+    Ok(format!(
+        "{} families, {} counters, {} histograms{extra}",
+        parsed.types.len(),
+        parsed.counters.len(),
+        parsed.hist_counts.len()
+    ))
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let usage_err = |e: String| -> ! {
-        eprintln!("error: {e}");
+        log::error("check", &e);
         std::process::exit(2);
     };
+    log::init_from_args(&args).unwrap_or_else(|e| usage_err(e));
+
+    if let Some(path) =
+        strict_value(&args, "--metrics", "a metrics exposition file").unwrap_or_else(|e| usage_err(e))
+    {
+        let prev = strict_value(&args, "--metrics-prev", "an earlier exposition to compare")
+            .unwrap_or_else(|e| usage_err(e));
+        let require = strict_value(
+            &args,
+            "--metrics-require",
+            "a comma-separated list of metric families",
+        )
+        .unwrap_or_else(|e| usage_err(e));
+        match check_metrics(&path, prev.as_deref(), require.as_deref()) {
+            Ok(summary) => println!("{path}: OK ({summary})"),
+            Err(e) => {
+                log::error("check", &format!("{path}: {e}"));
+                std::process::exit(1);
+            }
+        }
+        return;
+    }
+
     let scale = parse_scale_args(&args).unwrap_or_else(|e| usage_err(e));
     let cases = strict_u64(&args, "--cases", "a case count")
         .unwrap_or_else(|e| usage_err(e))
@@ -430,7 +492,23 @@ fn main() {
             }
         }
         println!("  zero-fault identity: checked");
+        // Each builtin plan also runs once with the telemetry observer
+        // attached — the same observer serve/fleet hang off the fault
+        // layer — so the sweep doubles as a gate that armed plans
+        // actually produce observable fault events.
+        let fault_reg = telemetry::Registry::new();
+        let fault_shard = fault_reg.shard();
         for (name, plan) in &builtins {
+            let obs = TelemetryObserver::new(&fault_shard);
+            let _ = run_trace_observed_faulted(
+                &workout.trace,
+                &workout.mem,
+                workout.heap,
+                Scheme::GrpVar,
+                &cfg,
+                obs,
+                plan,
+            );
             match check_faulted_case(&workout, Some(plan), &cfg, inject, max_cycles) {
                 Ok(()) => println!("  builtin '{name}': OK"),
                 Err(e) => {
@@ -438,6 +516,20 @@ fn main() {
                     println!("  builtin '{name}': FAILED\n    {e}");
                 }
             }
+        }
+        let snap = fault_reg.snapshot();
+        let (actions, dropped, delayed) = (
+            snap.family_total("grp_fault_events_total"),
+            snap.family_total("grp_fault_fills_dropped_total"),
+            snap.family_total("grp_fault_fills_delayed_total"),
+        );
+        println!(
+            "  fault telemetry: {actions} action(s) applied, \
+             {dropped} fill(s) dropped, {delayed} fill(s) delayed"
+        );
+        if actions + dropped + delayed == 0 {
+            failures += 1;
+            println!("  fault telemetry: FAILED (armed builtin plans produced no fault events)");
         }
 
         // Phase 4: faulted fuzzing over (access plan, fault plan) pairs.

@@ -11,6 +11,7 @@
 //! interval (committed events, default 4096).
 use grp_bench::obs_export::{flag_u64, flag_value, slug};
 use grp_bench::suite::scale_from_args;
+use grp_bench::telemetry::log;
 use grp_core::{EpochSampler, LifecycleTracer, ObserverPair, Scheme, SimConfig};
 
 fn main() {
@@ -23,12 +24,12 @@ fn main() {
     let scale = scale_from_args();
     let epoch = flag_u64(&args, "--epoch").unwrap_or(4096);
     if epoch == 0 {
-        eprintln!("error: --epoch must be positive");
+        log::error("dbg", "--epoch must be positive");
         std::process::exit(2);
     }
     let trace_out = flag_value(&args, "--trace-out");
     let wl = grp_workloads::by_name(&name).unwrap_or_else(|| {
-        eprintln!("error: unknown benchmark '{name}'");
+        log::error("dbg", &format!("unknown benchmark '{name}'"));
         std::process::exit(2);
     });
     let built = wl.build(scale.workload_scale());
@@ -92,7 +93,7 @@ fn main() {
                 }
             }
             std::fs::write(&path, t.jsonl()).expect("write --trace-out jsonl");
-            eprintln!("            wrote {path}");
+            log::info("dbg", &format!("wrote {path}"));
         }
     }
 }

@@ -2,6 +2,7 @@
 //! syntactic shape, per-loop byte strides, and the derived hints.
 //! `cargo run -p grp-bench --bin explain -- <bench> [--scale …]`
 use grp_bench::suite::scale_from_args;
+use grp_bench::telemetry::log;
 use grp_compiler::{analyze, explain, AnalysisConfig};
 use grp_workloads::by_name;
 
@@ -13,7 +14,7 @@ fn main() {
         .cloned()
         .unwrap_or_else(|| "mcf".into());
     let Some(wl) = by_name(&name) else {
-        eprintln!("unknown benchmark `{name}`");
+        log::error("explain", &format!("unknown benchmark `{name}`"));
         std::process::exit(1);
     };
     let built = wl.build(scale_from_args().workload_scale());

@@ -14,6 +14,11 @@
 //!                           "replay_tier": "packed")
 //!     [--trace-cache <dir>] persist/reuse packed pre-interpreted
 //!                           traces across processes (setup, not replay)
+//!     [--profile]           enable the phase profiler: print a
+//!                           build/interpret/pack/replay/export wall
+//!                           breakdown, embed it in the entry under
+//!                           "profile", and (serial mode) fail unless
+//!                           the phases cover >= 95% of the wall clock
 //! cargo run --release -p grp-bench --bin perf -- --fleet --scale small
 //!     [--jobs N]            worker count (default: available parallelism)
 //!     [--schemes <csv>]     scheme labels (default: all 12 — the full grid)
@@ -40,6 +45,7 @@ use grp_bench::json::Json;
 use grp_bench::obs_export::flag_value;
 use grp_bench::sched::{self, ReplayMode, WorkloadCache};
 use grp_bench::suite::scale_from_args;
+use grp_bench::telemetry::{self, log};
 use grp_bench::traj;
 use grp_core::Scheme;
 use grp_workloads::all;
@@ -113,26 +119,27 @@ fn main() {
                 println!("{path}: OK ({n} entries)");
             }
             Err(e) => {
-                eprintln!("{path}: {e}");
+                log::error("perf", &format!("{path}: {e}"));
                 std::process::exit(1);
             }
         }
         return;
     }
 
-    let fleet = grp_bench::args::strict_flag(&args, "--fleet").unwrap_or_else(|e| {
-        eprintln!("error: {e}");
+    let usage_err = |e: String| -> ! {
+        log::error("perf", &e);
         std::process::exit(2);
-    });
+    };
+    log::init_from_args(&args).unwrap_or_else(|e| usage_err(e));
+    let fleet = grp_bench::args::strict_flag(&args, "--fleet").unwrap_or_else(|e| usage_err(e));
+    let profile =
+        grp_bench::args::strict_flag(&args, "--profile").unwrap_or_else(|e| usage_err(e));
     let scale = scale_from_args();
     let label = flag_value(&args, "--label")
         .unwrap_or_else(|| if fleet { "fleet".to_string() } else { "current".to_string() });
     let out = flag_value(&args, "--out").unwrap_or_else(|| "BENCH_perf.json".to_string());
     let schemes: Vec<Scheme> = parse_schemes_args(&args)
-        .unwrap_or_else(|e| {
-            eprintln!("error: {e}");
-            std::process::exit(2);
-        })
+        .unwrap_or_else(|e| usage_err(e))
         .unwrap_or_else(|| {
             if fleet {
                 Scheme::ALL.to_vec()
@@ -141,10 +148,12 @@ fn main() {
             }
         });
     let write = !args.iter().any(|a| a == "--no-write");
-    let mode = parse_replay_args(&args).unwrap_or_else(|e| {
-        eprintln!("error: {e}");
-        std::process::exit(2);
-    });
+    let mode = parse_replay_args(&args).unwrap_or_else(|e| usage_err(e));
+
+    let wall_start = Instant::now();
+    if profile {
+        telemetry::profiler().set_enabled(true);
+    }
 
     println!(
         "GRP perf harness — {:?} scale, {} {} replay, schemes: {}",
@@ -164,19 +173,58 @@ fn main() {
     } else {
         run_serial(scale, &label, &schemes, &mode)
     };
-    let entry = entry.set(
+    let mut entry = entry.set(
         "replay_tier",
         if mode.packed { "packed" } else { "materialized" },
     );
+
+    if profile {
+        let wall = wall_start.elapsed().as_secs_f64();
+        let report = telemetry::profiler().report();
+        entry = entry.set("profile", report.to_json(wall));
+        let coverage = print_profile(&report, wall);
+        // The coverage gate only holds serially: fleet workers' summed
+        // busy time legitimately exceeds one wall clock.
+        if !fleet && coverage < 0.95 {
+            log::error(
+                "perf",
+                &format!(
+                    "profile coverage {:.1}% < 95% — phases do not account for the wall clock",
+                    100.0 * coverage
+                ),
+            );
+            std::process::exit(1);
+        }
+    }
 
     if !write {
         return;
     }
     traj::append_entry(&out, entry).unwrap_or_else(|e| {
-        eprintln!("error: {e}");
+        log::error("perf", &e.to_string());
         std::process::exit(1);
     });
     println!("appended entry '{label}' to {out}");
+}
+
+/// Prints the phase-attributed wall breakdown and returns coverage
+/// (top-level span seconds / measured wall seconds).
+fn print_profile(report: &grp_bench::telemetry::profiler::ProfileReport, wall: f64) -> f64 {
+    let covered = report.covered_seconds();
+    let coverage = covered / wall.max(1e-9);
+    println!("\nprofile: phase breakdown ({:.3}s wall)", wall);
+    for (phase, stat) in report.phase_totals() {
+        println!(
+            "  {:<12} {:>9.3}s  {:>5.1}%  ({} span{})",
+            phase,
+            stat.seconds,
+            100.0 * stat.seconds / wall.max(1e-9),
+            stat.count,
+            if stat.count == 1 { "" } else { "s" }
+        );
+    }
+    println!("  covered: {covered:.3}s of {wall:.3}s wall ({:.1}%)", 100.0 * coverage);
+    coverage
 }
 
 /// The original single-thread harness: build → trace → timed replay,
@@ -202,7 +250,7 @@ fn run_serial(
                     cache.get_or_build(w.name, scale.workload_scale())
                 })
                 .unwrap_or_else(|e| {
-                    eprintln!("error: {e}");
+                    log::error("perf", &e.to_string());
                     std::process::exit(1);
                 });
             setup_seconds += setup;
@@ -219,6 +267,9 @@ fn run_serial(
         }
     }
     let wall_seconds = wall_start.elapsed().as_secs_f64();
+    // Summary + entry construction is the export phase (no-op span
+    // unless --profile enabled the profiler).
+    let _export = telemetry::profiler().span("export");
 
     let events: u64 = rows.iter().map(|r| r.events).sum();
     let sim_cycles: u64 = rows.iter().map(|r| r.sim_cycles).sum();
@@ -295,15 +346,19 @@ fn run_fleet(
                 .set("total", total as u64)
                 .set("cells", Json::Array(rows.iter().map(|r| r.json()).collect()));
             grp_bench::artifact::atomic_write(path, doc.render()).unwrap_or_else(|e| {
-                eprintln!("error: cannot stream to {path}: {e}");
+                log::error("perf", &format!("cannot stream to {path}: {e}"));
                 std::process::exit(1);
             });
         }
     });
     if !failures.is_empty() {
-        eprintln!("error: {} cell(s) failed: {}", failures.len(), failures.join("; "));
+        log::error(
+            "perf",
+            &format!("{} cell(s) failed: {}", failures.len(), failures.join("; ")),
+        );
         std::process::exit(1);
     }
+    let _export = telemetry::profiler().span("export");
 
     let q = &stats.queue_wait_micros;
     println!(

@@ -4,6 +4,10 @@
 //! "heavy traffic" deployment shape, where many concurrent request
 //! streams amortize one shared pool of precomputed workloads.
 //!
+//! The protocol and batching engine live in [`grp_bench::serve`]; this
+//! binary owns only transport (stdin vs unix socket, accept retry with
+//! bounded backoff) and process-exit policy.
+//!
 //! ```text
 //! cargo run --release -p grp-bench --bin serve -- [--scale test|small|paper]
 //!     [--jobs N]            worker count (default: available parallelism)
@@ -22,42 +26,28 @@
 //!     [--perf-out <path>]   append a fleet-shaped entry aggregated over
 //!                           the whole session on shutdown
 //!     [--label <name>]      entry label for --perf-out (default "serve")
+//!     [--metrics-out <path>] write the metrics registry as Prometheus
+//!                           text (+ `<path>.json` twin) after each
+//!                           client session (sockets) / at shutdown
+//!     [--log-level <lvl>]   error|warn|info|debug|trace (or GRP_LOG)
 //! cargo run -p grp-bench --bin serve -- --check-replies <path>
 //!     validate a saved reply stream (shape + ok status) and exit
 //! ```
 //!
-//! # Protocol
-//!
-//! One JSON object per line. A **blank line** (or EOF) closes the
-//! current batch: the batch is scheduled as a fleet, and one reply line
-//! is written per job *in completion order* — correlate by `id`.
-//!
-//! Request: `{"kernel": "bzip2", "scheme": "SRP"}` with optional
-//! `"id"` (echoed; defaults to the 1-based input line number) and
-//! `"scale"` (`test`/`small`/`paper`; defaults to `--scale`). Unknown
-//! keys are rejected — a typo'd field must not be silently ignored.
-//!
-//! Reply (success): `{"id":1,"ok":true,"bench":"bzip2","scheme":"SRP",
-//! "scale":"small","worker":0,"events":…,"replay_seconds":…,
-//! "result":{…full RunResult summary…}}`
-//!
-//! Reply (failure): `{"id":1,"ok":false,"error":"unknown scheme 'SPR'
-//! (valid: …)"}` — a malformed request fails alone, never the batch.
-//!
-//! Built workloads are cached across batches *and* connections keyed by
-//! `(kernel, scale)`, so a second request for any scheme of an
-//! already-seen kernel skips straight to replay.
+//! Request lines: `{"kernel":…,"scheme":…}` jobs batched until a blank
+//! line, plus the in-band `{"stats":true}` probe answered immediately
+//! with a snapshot of the session's metrics registry — see the
+//! [`grp_bench::serve`] module docs for the full protocol.
 
-use std::io::{BufRead, BufReader, Write};
+use std::io::BufReader;
 
 use grp_bench::args::{jobs_from_args, parse_replay_args, strict_flag};
-use grp_bench::json::{run_result_json, Json};
 use grp_bench::obs_export::flag_value;
-use grp_bench::sched::{self, CellJob, CellResult, FleetStats, ReplayMode, WorkloadCache};
-use grp_bench::suite::{scale_from_args, SuiteScale};
-use grp_bench::traj;
+use grp_bench::serve::{check_replies, AcceptBackoff, Server, ServerOpts};
+use grp_bench::suite::scale_from_args;
+use grp_bench::telemetry::log::{self, Level};
+use grp_bench::{telemetry, traj};
 use grp_core::{Scheme, SimConfig};
-use grp_workloads::Scale;
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
@@ -66,7 +56,7 @@ fn main() {
         match check_replies(&path) {
             Ok(n) => println!("{path}: OK ({n} replies)"),
             Err(e) => {
-                eprintln!("{path}: {e}");
+                log::error("serve", &format!("{path}: {e}"));
                 std::process::exit(1);
             }
         }
@@ -74,9 +64,10 @@ fn main() {
     }
 
     let fail = |e: String| -> ! {
-        eprintln!("error: {e}");
+        log::error("serve", &e);
         std::process::exit(2);
     };
+    log::init_from_args(&args).unwrap_or_else(|e| fail(e));
     let scale = scale_from_args();
     let workers = jobs_from_args().unwrap_or_else(|| {
         std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4)
@@ -85,20 +76,26 @@ fn main() {
     let once = strict_flag(&args, "--once").unwrap_or_else(|e| fail(e));
     let socket = flag_value(&args, "--socket");
     let perf_out = flag_value(&args, "--perf-out");
+    let metrics_out = flag_value(&args, "--metrics-out");
     let label = flag_value(&args, "--label").unwrap_or_else(|| "serve".to_string());
     let mode = parse_replay_args(&args).unwrap_or_else(|e| fail(e));
 
-    let mut server = Server {
+    let mut server = Server::new(ServerOpts {
         workers,
         default_scale: scale,
         cfg: SimConfig::paper(),
-        cache: WorkloadCache::new(),
         mode,
         selfcheck,
-        batches: 0,
-        totals: None,
-        rows: Vec::new(),
-        mismatches: 0,
+        // The process-global registry, so trace-cache counters (which
+        // record globally) appear in the same scrape.
+        registry: telemetry::registry().clone(),
+    });
+    let export = |server: &Server| {
+        if let Some(path) = &metrics_out {
+            if let Err(e) = server.write_metrics(path) {
+                log::warn("serve", &format!("metrics export to {path} failed: {e}"));
+            }
+        }
     };
 
     match socket {
@@ -106,29 +103,64 @@ fn main() {
             let stdin = std::io::stdin();
             let stdout = std::io::stdout();
             server.session(stdin.lock(), &mut stdout.lock());
+            export(&server);
         }
         Some(path) => {
             let _ = std::fs::remove_file(&path);
             let listener = std::os::unix::net::UnixListener::bind(&path)
                 .unwrap_or_else(|e| fail(format!("cannot bind {path}: {e}")));
-            eprintln!("serve: listening on {path} ({workers} workers)");
+            log::log_kv(
+                Level::Info,
+                "serve",
+                "listening",
+                &[("socket", path.as_str().into()), ("workers", (workers as u64).into())],
+            );
+            // Accept failures back off exponentially and become
+            // terminal after an unbroken run — a dead listener must
+            // not spin the process at 100% CPU.
+            let mut backoff = AcceptBackoff::new();
             for stream in listener.incoming() {
                 let stream = match stream {
-                    Ok(s) => s,
-                    Err(e) => {
-                        eprintln!("serve: accept failed: {e}");
-                        continue;
+                    Ok(s) => {
+                        backoff.on_success();
+                        s
                     }
+                    Err(e) => match backoff.on_failure() {
+                        Some(delay) => {
+                            log::log_kv(
+                                Level::Warn,
+                                "serve",
+                                "accept failed; backing off",
+                                &[
+                                    ("error", e.to_string().into()),
+                                    ("retry_ms", (delay.as_millis() as u64).into()),
+                                ],
+                            );
+                            std::thread::sleep(delay);
+                            continue;
+                        }
+                        None => {
+                            log::error(
+                                "serve",
+                                &format!(
+                                    "accept failed {} times in a row (last: {e}); giving up",
+                                    AcceptBackoff::MAX_FAILURES + 1
+                                ),
+                            );
+                            break;
+                        }
+                    },
                 };
                 let reader = BufReader::new(match stream.try_clone() {
                     Ok(s) => s,
                     Err(e) => {
-                        eprintln!("serve: cannot clone stream: {e}");
+                        log::warn("serve", &format!("cannot clone stream: {e}"));
                         continue;
                     }
                 });
                 let mut writer = stream;
                 server.session(reader, &mut writer);
+                export(&server);
                 if once {
                     break;
                 }
@@ -138,324 +170,34 @@ fn main() {
     }
 
     if let Some(out) = perf_out {
-        if let Some(stats) = &server.totals {
+        if server.totals().is_some() {
             let scheme_labels: Vec<&str> = Scheme::ALL.map(|s| s.label()).to_vec();
+            let rows = server.take_rows();
+            let stats = server.totals().expect("checked above");
             let entry = traj::fleet_entry(
                 &label,
-                &format!("{:?}", server.default_scale).to_lowercase(),
+                &format!("{:?}", server.default_scale()).to_lowercase(),
                 &scheme_labels,
                 stats,
-                std::mem::take(&mut server.rows),
+                rows,
             );
             traj::append_entry(&out, entry).unwrap_or_else(|e| {
-                eprintln!("error: {e}");
+                log::error("serve", &e.to_string());
                 std::process::exit(1);
             });
-            eprintln!("serve: appended entry '{label}' to {out}");
+            log::info("serve", &format!("appended entry '{label}' to {out}"));
         } else {
-            eprintln!("serve: no jobs ran, nothing appended to {out}");
+            log::info("serve", &format!("no jobs ran, nothing appended to {out}"));
         }
     }
-    if server.mismatches > 0 {
-        eprintln!(
-            "serve: SELFCHECK FAILED — {} repl(y/ies) differ from the serial path",
-            server.mismatches
+    if server.mismatches() > 0 {
+        log::error(
+            "serve",
+            &format!(
+                "SELFCHECK FAILED — {} repl(y/ies) differ from the serial path",
+                server.mismatches()
+            ),
         );
         std::process::exit(1);
     }
-}
-
-struct Server {
-    workers: usize,
-    default_scale: SuiteScale,
-    cfg: SimConfig,
-    cache: WorkloadCache,
-    /// Replay tier + optional trace cache for every scheduled cell.
-    mode: ReplayMode,
-    selfcheck: bool,
-    batches: u64,
-    /// Session-lifetime aggregate for `--perf-out` (fleet entry shape).
-    totals: Option<FleetStats>,
-    /// Per-cell rows for the fleet entry's `kernels` array.
-    rows: Vec<Json>,
-    mismatches: u64,
-}
-
-impl Server {
-    /// Reads one client's request stream to EOF, flushing a batch at
-    /// every blank line.
-    fn session<R: BufRead, W: Write>(&mut self, reader: R, out: &mut W) {
-        let mut batch: Vec<Result<CellJob, (u64, String)>> = Vec::new();
-        let mut lineno = 0u64;
-        for line in reader.lines() {
-            let line = match line {
-                Ok(l) => l,
-                Err(e) => {
-                    eprintln!("serve: read failed: {e}");
-                    break;
-                }
-            };
-            lineno += 1;
-            if line.trim().is_empty() {
-                self.flush_batch(&mut batch, out);
-                continue;
-            }
-            batch.push(parse_request(&line, lineno, self.default_scale));
-        }
-        self.flush_batch(&mut batch, out);
-    }
-
-    /// Schedules the accumulated batch across the fleet and writes one
-    /// reply line per job as its cell completes.
-    fn flush_batch<W: Write>(
-        &mut self,
-        batch: &mut Vec<Result<CellJob, (u64, String)>>,
-        out: &mut W,
-    ) {
-        if batch.is_empty() {
-            return;
-        }
-        let mut jobs: Vec<CellJob> = Vec::new();
-        for req in batch.drain(..) {
-            match req {
-                Ok(job) => jobs.push(job),
-                Err((id, e)) => {
-                    let reply = Json::object().set("id", id).set("ok", false).set("error", e);
-                    writeln!(out, "{}", reply.render()).expect("write reply");
-                }
-            }
-        }
-        out.flush().expect("flush replies");
-        if jobs.is_empty() {
-            return;
-        }
-        self.batches += 1;
-        let mut completed: Vec<CellResult> = Vec::new();
-        let stats = sched::run_cells_mode(&jobs, self.workers, &self.cache, &self.mode, |cell| {
-            let reply = match &cell.outcome {
-                Ok(r) => Json::object()
-                    .set("id", cell.id)
-                    .set("ok", true)
-                    .set("bench", cell.kernel)
-                    .set("scheme", cell.scheme.label())
-                    .set("scale", scale_label(cell.scale))
-                    .set("worker", cell.worker as u64)
-                    .set("events", cell.events)
-                    .set("replay_seconds", cell.replay_seconds)
-                    .set("result", run_result_json(r, None)),
-                Err(e) => Json::object()
-                    .set("id", cell.id)
-                    .set("ok", false)
-                    .set("error", e.as_str()),
-            };
-            writeln!(out, "{}", reply.render()).expect("write reply");
-            out.flush().expect("flush reply");
-            completed.push(cell);
-        });
-        eprintln!(
-            "serve: batch {} — {} job(s), {} error(s), {:.3}s wall, {:.0} events/s aggregate, \
-             {} workload(s) cached",
-            self.batches,
-            stats.cells,
-            stats.errors,
-            stats.wall_seconds,
-            stats.events_per_sec(),
-            self.cache.built_count(),
-        );
-        for cell in &completed {
-            if let Ok(r) = &cell.outcome {
-                self.rows.push(
-                    Json::object()
-                        .set("bench", cell.kernel)
-                        .set("scheme", cell.scheme.label())
-                        .set("events", cell.events)
-                        .set("sim_cycles", r.cycles)
-                        .set("replay_seconds", cell.replay_seconds)
-                        .set(
-                            "events_per_sec",
-                            cell.events as f64 / cell.replay_seconds.max(1e-9),
-                        )
-                        .set("sim_cycles_per_sec", r.cycles as f64 / cell.replay_seconds.max(1e-9))
-                        .set("worker", cell.worker as u64),
-                );
-            }
-        }
-        self.absorb(stats);
-        if self.selfcheck {
-            self.selfcheck_batch(&completed);
-        }
-    }
-
-    /// Folds one batch's fleet stats into the session totals.
-    fn absorb(&mut self, s: FleetStats) {
-        match &mut self.totals {
-            None => self.totals = Some(s),
-            Some(t) => {
-                t.cells += s.cells;
-                t.errors += s.errors;
-                t.wall_seconds += s.wall_seconds;
-                t.events += s.events;
-                t.sim_cycles += s.sim_cycles;
-                t.replay_seconds += s.replay_seconds;
-                t.setup_seconds += s.setup_seconds;
-                t.steals += s.steals;
-                t.queue_wait_micros.absorb(&s.queue_wait_micros);
-                // Worker count is fixed for the session (--jobs), but a
-                // tiny batch can spawn fewer workers than configured —
-                // fold per-worker columns index-wise.
-                for w in 0..s.workers.min(t.workers) {
-                    t.busy_seconds[w] += s.busy_seconds[w];
-                    t.cells_per_worker[w] += s.cells_per_worker[w];
-                }
-            }
-        }
-    }
-
-    /// Re-runs every completed cell serially on a **freshly built**
-    /// workload (no shared cache — full independence from the fleet
-    /// path) and records any bit-difference. The serial side always
-    /// replays materialized, so under `--packed` (or `--trace-cache`)
-    /// this is also a packed-vs-materialized identity gate per reply.
-    fn selfcheck_batch(&mut self, completed: &[CellResult]) {
-        for cell in completed {
-            let Ok(got) = &cell.outcome else { continue };
-            let Some(w) = grp_workloads::by_name(cell.kernel) else { continue };
-            let want = w.build(cell.scale).run(cell.scheme, &self.cfg);
-            if *got != want {
-                eprintln!(
-                    "serve: selfcheck mismatch on {}/{} at {} scale (fleet {} cycles, serial {})",
-                    cell.kernel,
-                    cell.scheme.label(),
-                    scale_label(cell.scale),
-                    got.cycles,
-                    want.cycles
-                );
-                self.mismatches += 1;
-            }
-        }
-    }
-}
-
-fn scale_label(scale: Scale) -> &'static str {
-    match scale {
-        Scale::Test => "test",
-        Scale::Small => "small",
-        Scale::Paper => "paper",
-    }
-}
-
-/// Parses one request line into a cell job; errors carry the reply id.
-fn parse_request(
-    line: &str,
-    lineno: u64,
-    default_scale: SuiteScale,
-) -> Result<CellJob, (u64, String)> {
-    let doc = Json::parse(line).map_err(|e| (lineno, format!("malformed request: {e}")))?;
-    let fields = doc
-        .entries()
-        .ok_or((lineno, "request must be a JSON object".to_string()))?;
-    // The id (when present and well-formed) tags even the errors below.
-    let id = doc.get("id").and_then(|v| v.as_u64()).unwrap_or(lineno);
-    let mut kernel: Option<&'static str> = None;
-    let mut scheme: Option<Scheme> = None;
-    let mut scale: Scale = default_scale.workload_scale();
-    for (key, value) in fields {
-        match key.as_str() {
-            "id" => {
-                value
-                    .as_u64()
-                    .ok_or((id, "'id' must be a non-negative integer".to_string()))?;
-            }
-            "kernel" => {
-                let name = value
-                    .as_str()
-                    .ok_or((id, "'kernel' must be a string".to_string()))?;
-                kernel = Some(
-                    grp_workloads::by_name(name)
-                        .map(|w| w.name)
-                        .ok_or_else(|| {
-                            (id, format!("unknown kernel '{name}' (valid: registry names, e.g. gzip, mcf, bzip2)"))
-                        })?,
-                );
-            }
-            "scheme" => {
-                let label = value
-                    .as_str()
-                    .ok_or((id, "'scheme' must be a string".to_string()))?;
-                scheme = Some(Scheme::by_label(label).ok_or_else(|| {
-                    (
-                        id,
-                        format!(
-                            "unknown scheme '{label}' (valid: {})",
-                            Scheme::ALL.map(|s| s.label()).join(", ")
-                        ),
-                    )
-                })?);
-            }
-            "scale" => {
-                let s = value
-                    .as_str()
-                    .ok_or((id, "'scale' must be a string".to_string()))?;
-                scale = SuiteScale::parse(s)
-                    .ok_or_else(|| (id, format!("unknown scale '{s}' (valid: test, small, paper)")))?
-                    .workload_scale();
-            }
-            other => {
-                return Err((
-                    id,
-                    format!("unknown request field '{other}' (valid: id, kernel, scheme, scale)"),
-                ))
-            }
-        }
-    }
-    Ok(CellJob {
-        id,
-        kernel: kernel.ok_or((id, "request missing 'kernel'".to_string()))?,
-        scheme: scheme.ok_or((id, "request missing 'scheme'".to_string()))?,
-        scale,
-        cfg: SimConfig::paper(),
-    })
-}
-
-/// Validates a saved reply stream: every line parses, has a boolean
-/// `ok`, and successful replies carry the summary fields. Any
-/// `ok: false` line is reported as a failure.
-fn check_replies(path: &str) -> Result<usize, String> {
-    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read: {e}"))?;
-    let mut n = 0usize;
-    for (i, line) in text.lines().enumerate() {
-        if line.trim().is_empty() {
-            continue;
-        }
-        let doc = Json::parse(line).map_err(|e| format!("line {}: malformed: {e}", i + 1))?;
-        let ok = doc
-            .get("ok")
-            .and_then(|v| v.as_bool())
-            .ok_or(format!("line {}: missing boolean 'ok'", i + 1))?;
-        doc.get("id")
-            .and_then(|v| v.as_u64())
-            .ok_or(format!("line {}: missing 'id'", i + 1))?;
-        if !ok {
-            let e = doc.get("error").and_then(|v| v.as_str()).unwrap_or("<no error field>");
-            return Err(format!("line {}: reply failed: {e}", i + 1));
-        }
-        for key in ["bench", "scheme", "scale"] {
-            doc.get(key)
-                .and_then(|v| v.as_str())
-                .ok_or(format!("line {}: missing string '{key}'", i + 1))?;
-        }
-        let cycles = doc
-            .get("result")
-            .and_then(|r| r.get("cycles"))
-            .and_then(|v| v.as_u64())
-            .ok_or(format!("line {}: missing result.cycles", i + 1))?;
-        if cycles == 0 {
-            return Err(format!("line {}: zero-cycle result", i + 1));
-        }
-        n += 1;
-    }
-    if n == 0 {
-        return Err("no replies in file".to_string());
-    }
-    Ok(n)
 }

@@ -22,11 +22,12 @@
 use grp_bench::json::Json;
 use grp_bench::obs_export::{chrome_trace, flag_u64, flag_value, metrics_json, slug};
 use grp_bench::suite::parse_scale_args;
+use grp_bench::telemetry::log;
 use grp_core::{EpochSampler, LifecycleTracer, ObserverPair, RunResult, Scheme, SimConfig};
 use grp_workloads::by_name;
 
 fn fail(msg: &str) -> ! {
-    eprintln!("error: {msg}");
+    log::error("trace", msg);
     std::process::exit(1)
 }
 
@@ -165,9 +166,9 @@ fn main() {
     let wl = by_name(&name).unwrap_or_else(|| fail(&format!("unknown benchmark '{name}'")));
     let built = wl.build(scale.workload_scale());
     let cfg = SimConfig::paper();
-    eprintln!("  running {name} / {} (baseline)…", Scheme::NoPrefetch);
+    log::info("trace", &format!("running {name} / {} (baseline)…", Scheme::NoPrefetch));
     let base = built.run(Scheme::NoPrefetch, &cfg);
-    eprintln!("  running {name} / {scheme} (traced, epoch={epoch})…");
+    log::info("trace", &format!("running {name} / {scheme} (traced, epoch={epoch})…"));
     let obs = ObserverPair(LifecycleTracer::new(), EpochSampler::new(epoch));
     let (r, obs) = built.run_observed(scheme, &cfg, obs);
     let ObserverPair(tracer, sampler) = obs;
@@ -175,7 +176,7 @@ fn main() {
     let failures = verify_against(&tracer, &r, &base);
     if !failures.is_empty() {
         for f in &failures {
-            eprintln!("self-check FAILED: {f}");
+            log::error("trace", &format!("self-check FAILED: {f}"));
         }
         std::process::exit(1);
     }

@@ -19,7 +19,9 @@ pub mod json;
 pub mod obs_export;
 pub mod report;
 pub mod sched;
+pub mod serve;
 pub mod suite;
+pub mod telemetry;
 pub mod tracecache;
 pub mod traj;
 

@@ -34,7 +34,7 @@ pub fn slug(label: &str) -> String {
 /// into run mode.
 pub fn flag_value(args: &[String], flag: &str) -> Option<String> {
     crate::args::strict_value(args, flag, "a value").unwrap_or_else(|e| {
-        eprintln!("error: {e}");
+        crate::telemetry::log::error("args", &e);
         std::process::exit(2);
     })
 }
@@ -44,7 +44,7 @@ pub fn flag_value(args: &[String], flag: &str) -> Option<String> {
 /// typo).
 pub fn flag_u64(args: &[String], flag: &str) -> Option<u64> {
     crate::args::strict_u64(args, flag, "an integer").unwrap_or_else(|e| {
-        eprintln!("error: {e}");
+        crate::telemetry::log::error("args", &e);
         std::process::exit(2);
     })
 }

@@ -37,6 +37,7 @@ use grp_core::{run_trace, run_trace_packed, LatencyHist, RunResult, Scheme, SimC
 use grp_cpu::PackedTrace;
 use grp_workloads::{BuiltWorkload, Scale};
 
+use crate::telemetry::registry::{Registry, Shard};
 use crate::tracecache::TraceCache;
 
 /// How cells replay: the materialized enum-event path (default), the
@@ -55,13 +56,24 @@ pub struct ReplayMode {
     /// derivation entirely; stale or corrupt entries read as misses
     /// and are rebuilt, never trusted.
     pub trace_cache: Option<Arc<TraceCache>>,
+    /// Metrics registry the fleet records into (`grp_fleet_*`,
+    /// `grp_replay_*`, `grp_sim_*` families; one shard per worker,
+    /// merged at scrape). `None` — the default — records nothing and
+    /// adds nothing to the replay path.
+    pub telemetry: Option<Arc<Registry>>,
 }
 
 impl ReplayMode {
     /// True when this mode is the plain materialized path with no
-    /// cache — the zero-overhead default.
+    /// cache and no metrics — the zero-overhead default.
     pub fn is_default(&self) -> bool {
-        !self.packed && self.trace_cache.is_none()
+        !self.packed && self.trace_cache.is_none() && self.telemetry.is_none()
+    }
+
+    /// This mode with fleet metrics recorded into `reg`.
+    pub fn with_telemetry(mut self, reg: Arc<Registry>) -> Self {
+        self.telemetry = Some(reg);
+        self
     }
 }
 
@@ -343,6 +355,12 @@ pub fn run_cells_mode<F: FnMut(CellResult)>(
 
     let steals = AtomicU64::new(0);
     let busy: Vec<Mutex<(f64, usize)>> = (0..workers).map(|_| Mutex::new((0.0, 0))).collect();
+    // One registry shard per worker: each worker records lock-free into
+    // its own handles; merging happens only when someone scrapes.
+    let shards: Option<Vec<Arc<Shard>>> = mode
+        .telemetry
+        .as_ref()
+        .map(|reg| (0..workers).map(|_| reg.shard()).collect());
     let start = Instant::now();
     let (tx, rx) = mpsc::channel::<CellResult>();
 
@@ -368,6 +386,7 @@ pub fn run_cells_mode<F: FnMut(CellResult)>(
             let busy = &busy;
             let steals = &steals;
             let cache_ref = cache;
+            let shard = shards.as_ref().map(|s| s[me].clone());
             s.spawn(move || loop {
                 // Own deque first (front: biggest still-local cell)…
                 let mut job = queues[me].lock().expect("own deque").pop_front();
@@ -377,6 +396,9 @@ pub fn run_cells_mode<F: FnMut(CellResult)>(
                         let victim = (me + off) % queues.len();
                         if let Some(j) = queues[victim].lock().expect("victim deque").pop_back() {
                             steals.fetch_add(1, Ordering::Relaxed);
+                            if let Some(shard) = &shard {
+                                shard.counter("grp_fleet_steals_total", &[]).inc();
+                            }
                             job = Some(j);
                             break;
                         }
@@ -387,10 +409,14 @@ pub fn run_cells_mode<F: FnMut(CellResult)>(
                 let t0 = Instant::now();
                 let (outcome, events, setup_seconds, replay_seconds) =
                     execute_cell(&job, cache_ref, mode);
+                let busy_secs = t0.elapsed().as_secs_f64();
                 {
                     let mut b = busy[me].lock().expect("busy");
-                    b.0 += t0.elapsed().as_secs_f64();
+                    b.0 += busy_secs;
                     b.1 += 1;
+                }
+                if let Some(shard) = &shard {
+                    record_cell(shard, me, &job, &outcome, events, busy_secs, queue_micros);
                 }
                 // The receiver outlives every sender (rx drains below in
                 // this scope); a send failure means the caller vanished.
@@ -432,7 +458,47 @@ pub fn run_cells_mode<F: FnMut(CellResult)>(
         stats.busy_seconds[w] = b.0;
         stats.cells_per_worker[w] = b.1;
     }
+    if let Some(shards) = &shards {
+        // Run-level accounting goes through the first shard (the
+        // collector runs on the calling thread, after workers joined).
+        let s0 = &shards[0];
+        s0.counter("grp_fleet_runs_total", &[]).inc();
+        s0.counter("grp_fleet_wall_micros_total", &[])
+            .add((stats.wall_seconds * 1e6) as u64);
+        for w in 0..workers {
+            s0.gauge("grp_fleet_worker_utilization", &[("worker", &w.to_string())])
+                .set(stats.utilization(w));
+        }
+    }
     stats
+}
+
+/// Records one completed cell into the owning worker's shard.
+fn record_cell(
+    shard: &Shard,
+    worker: usize,
+    job: &CellJob,
+    outcome: &Result<RunResult, String>,
+    events: u64,
+    busy_secs: f64,
+    queue_micros: u64,
+) {
+    let scheme = job.scheme.to_string();
+    let cell = [("bench", job.kernel), ("scheme", scheme.as_str())];
+    shard.counter("grp_fleet_cells_total", &cell).inc();
+    shard.counter("grp_replay_events_total", &[]).add(events);
+    match outcome {
+        Ok(res) => {
+            shard.counter("grp_sim_cycles_total", &[]).add(res.cycles);
+        }
+        Err(_) => {
+            shard.counter("grp_fleet_cell_errors_total", &cell).inc();
+        }
+    }
+    shard
+        .counter("grp_fleet_busy_micros_total", &[("worker", &worker.to_string())])
+        .add((busy_secs * 1e6) as u64);
+    shard.hist("grp_fleet_queue_wait_micros", &[]).record(queue_micros);
 }
 
 /// Runs one `(kernel, scheme)` cell under `mode`, preferring the trace
@@ -456,14 +522,24 @@ pub fn run_cell(
     get_built: impl FnOnce() -> Result<Arc<BuiltWorkload>, String>,
 ) -> Result<(RunResult, u64, f64, f64), String> {
     let cc = scheme.compiler_config();
+    // Phase spans attribute this cell's cost in `perf --profile`
+    // reports; when the global profiler is off (the default) each
+    // span is one atomic load and no clock read.
+    let prof = crate::telemetry::profiler();
+    let slabel = if prof.enabled() { scheme.to_string() } else { String::new() };
     let t0 = Instant::now();
     // Cache fast path: packed trace + post-interpretation memory +
     // heap straight from disk. A stale/corrupt entry reads as a miss.
     if let Some(cache) = &mode.trace_cache {
-        if let Some((pt, mem, heap)) = cache.load(kernel, scale, cc.as_ref()) {
+        let hit = {
+            let _s = prof.span_cell("cache_load", kernel, &slabel);
+            cache.load(kernel, scale, cc.as_ref())
+        };
+        if let Some((pt, mem, heap)) = hit {
             let events = pt.event_count();
             let setup_seconds = t0.elapsed().as_secs_f64();
             let t1 = Instant::now();
+            let _s = prof.span_cell("replay", kernel, &slabel);
             let result = if mode.packed {
                 run_trace_packed(&pt, &mem, heap, scheme, cfg)
             } else {
@@ -472,10 +548,17 @@ pub fn run_cell(
             return Ok((result, events, setup_seconds, t1.elapsed().as_secs_f64()));
         }
     }
-    let built = get_built()?;
-    let (trace, mem) = built.trace(cc.as_ref());
+    let built = {
+        let _s = prof.span_cell("build", kernel, &slabel);
+        get_built()?
+    };
+    let (trace, mem) = {
+        let _s = prof.span_cell("interpret", kernel, &slabel);
+        built.trace(cc.as_ref())
+    };
     let events = trace.events().len() as u64;
     let pt = if mode.packed || mode.trace_cache.is_some() {
+        let _s = prof.span_cell("pack", kernel, &slabel);
         Some(
             PackedTrace::pack(&trace)
                 .map_err(|e| format!("{kernel}/{scheme}: trace does not pack: {e}"))?,
@@ -486,12 +569,19 @@ pub fn run_cell(
     if let (Some(cache), Some(pt)) = (&mode.trace_cache, &pt) {
         // Best-effort: a full disk must degrade to "no cache", not
         // fail the cell.
+        let _s = prof.span_cell("cache_store", kernel, &slabel);
         if let Err(e) = cache.store(kernel, scale, cc.as_ref(), pt, &mem, built.heap) {
-            eprintln!("warning: trace-cache store for {kernel} failed: {e}");
+            crate::telemetry::log::log_kv(
+                crate::telemetry::log::Level::Warn,
+                "sched",
+                "trace-cache store failed; continuing uncached",
+                &[("bench", kernel.into()), ("error", e.to_string().into())],
+            );
         }
     }
     let setup_seconds = t0.elapsed().as_secs_f64();
     let t1 = Instant::now();
+    let _s = prof.span_cell("replay", kernel, &slabel);
     let result = match &pt {
         Some(pt) if mode.packed => run_trace_packed(pt, &mem, built.heap, scheme, cfg),
         _ => run_trace(&trace, &mem, built.heap, scheme, cfg),
@@ -628,9 +718,9 @@ mod tests {
             .join(format!("grp-sched-cache-{}", std::process::id()));
         let _ = std::fs::remove_dir_all(&dir);
         let tc = Arc::new(TraceCache::new(&dir));
-        let packed = ReplayMode { packed: true, trace_cache: None };
-        let cached = ReplayMode { packed: false, trace_cache: Some(tc.clone()) };
-        let both = ReplayMode { packed: true, trace_cache: Some(tc.clone()) };
+        let packed = ReplayMode { packed: true, trace_cache: None, telemetry: None };
+        let cached = ReplayMode { packed: false, trace_cache: Some(tc.clone()), telemetry: None };
+        let both = ReplayMode { packed: true, trace_cache: Some(tc.clone()), telemetry: None };
         assert_eq!(collect(&packed, &WorkloadCache::new()), baseline, "packed tier diverged");
         assert_eq!(collect(&cached, &WorkloadCache::new()), baseline, "cache (cold) diverged");
         // Warm cache: every cell must be served from disk — zero builds.

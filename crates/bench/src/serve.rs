@@ -1,0 +1,768 @@
+//! Replay-server engine behind the `serve` binary: request parsing,
+//! batch scheduling, reply rendering, selfcheck, session accounting —
+//! and the live telemetry surface.
+//!
+//! The binary owns only transport (stdin vs unix socket, accept retry)
+//! and process-exit policy; everything protocol-shaped lives here so
+//! tests can drive whole sessions through in-memory readers/writers.
+//!
+//! # Protocol
+//!
+//! One JSON object per line; a blank line (or EOF) flushes the current
+//! batch through the work-stealing fleet and writes one reply line per
+//! job in completion order (correlate by `id`). Two request forms:
+//!
+//! * Job: `{"kernel":"bzip2","scheme":"SRP"}` with optional `"id"`
+//!   (defaults to the 1-based line number) and `"scale"`. Unknown
+//!   fields are rejected — a typo'd field must not be silently
+//!   ignored.
+//! * Stats: `{"stats":true}` with optional `"id"` — answered
+//!   **immediately** (not batched) with
+//!   `{"id":…,"ok":true,"stats":{…}}`, a snapshot of the server's
+//!   metrics registry at that instant: requests, batches, replies,
+//!   per-cell fleet counters, trace-cache hits/misses, worker
+//!   utilization. This is the in-band "what has this session actually
+//!   done" probe; scraping it does not perturb the counters it reads
+//!   (beyond counting the stats request itself).
+//!
+//! Every session records into an externally supplied
+//! [`Registry`](crate::telemetry::Registry) (`grp_serve_*` families;
+//! the fleet and trace-cache families land in the same registry), and
+//! [`Server::write_metrics`] exports the whole registry as Prometheus
+//! text plus a JSON twin for `--metrics-out`.
+
+use std::io::{BufRead, Write};
+use std::sync::Arc;
+use std::time::Duration;
+
+use grp_core::{Scheme, SimConfig};
+use grp_workloads::Scale;
+
+use crate::json::{run_result_json, Json};
+use crate::sched::{self, CellJob, CellResult, FleetStats, ReplayMode, WorkloadCache};
+use crate::suite::SuiteScale;
+use crate::telemetry::exposition;
+use crate::telemetry::log::{self, Level};
+use crate::telemetry::registry::{Registry, Shard};
+
+/// Construction-time configuration for a [`Server`].
+#[derive(Debug)]
+pub struct ServerOpts {
+    /// Fleet worker count per batch.
+    pub workers: usize,
+    /// Scale for requests that don't name one.
+    pub default_scale: SuiteScale,
+    /// Platform configuration for every cell.
+    pub cfg: SimConfig,
+    /// Replay tier + optional trace cache; its `telemetry` field is
+    /// overwritten with [`ServerOpts::registry`] so fleet counters
+    /// land in the server's registry.
+    pub mode: ReplayMode,
+    /// Re-run every successful reply serially and count mismatches.
+    pub selfcheck: bool,
+    /// The metrics registry this server records into (the binary
+    /// passes the process-global one; tests pass a fresh one).
+    pub registry: Arc<Registry>,
+}
+
+/// The replay server: batching, scheduling, replies, telemetry.
+#[derive(Debug)]
+pub struct Server {
+    workers: usize,
+    default_scale: SuiteScale,
+    cfg: SimConfig,
+    cache: WorkloadCache,
+    mode: ReplayMode,
+    selfcheck: bool,
+    registry: Arc<Registry>,
+    shard: Arc<Shard>,
+    batches: u64,
+    /// Session-lifetime aggregate for `--perf-out` (fleet entry shape).
+    totals: Option<FleetStats>,
+    /// Per-cell rows for the fleet entry's `kernels` array.
+    rows: Vec<Json>,
+    mismatches: u64,
+}
+
+/// One parsed request line.
+#[derive(Debug, Clone)]
+pub enum Request {
+    /// A simulation job for the next batch.
+    Job(CellJob),
+    /// An in-band metrics probe, answered immediately.
+    Stats {
+        /// Echoed reply id.
+        id: u64,
+    },
+}
+
+impl Server {
+    /// A server recording into `opts.registry`.
+    pub fn new(opts: ServerOpts) -> Self {
+        let shard = opts.registry.shard();
+        let mode = opts.mode.with_telemetry(opts.registry.clone());
+        Server {
+            workers: opts.workers,
+            default_scale: opts.default_scale,
+            cfg: opts.cfg,
+            cache: WorkloadCache::new(),
+            mode,
+            selfcheck: opts.selfcheck,
+            registry: opts.registry,
+            shard,
+            batches: 0,
+            totals: None,
+            rows: Vec::new(),
+            mismatches: 0,
+        }
+    }
+
+    /// Selfcheck mismatches recorded so far (the binary's exit gate).
+    pub fn mismatches(&self) -> u64 {
+        self.mismatches
+    }
+
+    /// Session-lifetime fleet totals, if any batch ran.
+    pub fn totals(&self) -> Option<&FleetStats> {
+        self.totals.as_ref()
+    }
+
+    /// Takes the accumulated per-cell rows (for the `--perf-out`
+    /// trajectory entry).
+    pub fn take_rows(&mut self) -> Vec<Json> {
+        std::mem::take(&mut self.rows)
+    }
+
+    /// The registry this server records into.
+    pub fn registry(&self) -> &Arc<Registry> {
+        &self.registry
+    }
+
+    /// The default scale requests inherit.
+    pub fn default_scale(&self) -> SuiteScale {
+        self.default_scale
+    }
+
+    /// Reads one client's request stream to EOF, flushing a batch at
+    /// every blank line and answering stats probes inline.
+    pub fn session<R: BufRead, W: Write>(&mut self, reader: R, out: &mut W) {
+        let session_id = log::next_id();
+        self.shard.counter("grp_serve_sessions_total", &[]).inc();
+        log::log_kv(
+            Level::Info,
+            "serve",
+            "session started",
+            &[("session", session_id.into())],
+        );
+        let mut batch: Vec<Result<CellJob, (u64, String)>> = Vec::new();
+        let mut lineno = 0u64;
+        for line in reader.lines() {
+            let line = match line {
+                Ok(l) => l,
+                Err(e) => {
+                    log::log_kv(
+                        Level::Error,
+                        "serve",
+                        "read failed; closing session",
+                        &[("session", session_id.into()), ("error", e.to_string().into())],
+                    );
+                    break;
+                }
+            };
+            lineno += 1;
+            if line.trim().is_empty() {
+                self.flush_batch(&mut batch, out);
+                continue;
+            }
+            self.shard.counter("grp_serve_requests_total", &[]).inc();
+            match parse_request(&line, lineno, self.default_scale) {
+                Ok(Request::Job(job)) => batch.push(Ok(job)),
+                Ok(Request::Stats { id }) => {
+                    self.shard.counter("grp_serve_stats_requests_total", &[]).inc();
+                    // Count the reply before snapshotting so the probe
+                    // sees itself — every reply on the wire is counted
+                    // in the snapshot it carries.
+                    self.shard.counter("grp_serve_replies_total", &[("ok", "true")]).inc();
+                    let reply = self.stats_reply(id);
+                    writeln!(out, "{}", reply.render()).expect("write reply");
+                    out.flush().expect("flush reply");
+                }
+                Err((id, e)) => {
+                    self.shard.counter("grp_serve_request_errors_total", &[]).inc();
+                    batch.push(Err((id, e)));
+                }
+            }
+        }
+        self.flush_batch(&mut batch, out);
+        log::log_kv(
+            Level::Info,
+            "serve",
+            "session ended",
+            &[("session", session_id.into()), ("lines", lineno.into())],
+        );
+    }
+
+    /// The reply for one in-band stats probe: a full registry snapshot
+    /// (counters, gauges, histograms) as of this instant.
+    fn stats_reply(&self, id: u64) -> Json {
+        let snap = self.registry.snapshot();
+        Json::object()
+            .set("id", id)
+            .set("ok", true)
+            .set("stats", exposition::snapshot_json(&snap, None))
+    }
+
+    fn write_reply<W: Write>(&self, out: &mut W, ok: bool, reply: Json) {
+        self.shard
+            .counter("grp_serve_replies_total", &[("ok", if ok { "true" } else { "false" })])
+            .inc();
+        writeln!(out, "{}", reply.render()).expect("write reply");
+        out.flush().expect("flush reply");
+    }
+
+    /// Schedules the accumulated batch across the fleet and writes one
+    /// reply line per job as its cell completes.
+    fn flush_batch<W: Write>(
+        &mut self,
+        batch: &mut Vec<Result<CellJob, (u64, String)>>,
+        out: &mut W,
+    ) {
+        if batch.is_empty() {
+            return;
+        }
+        let mut jobs: Vec<CellJob> = Vec::new();
+        for req in batch.drain(..) {
+            match req {
+                Ok(job) => jobs.push(job),
+                Err((id, e)) => {
+                    let reply = Json::object().set("id", id).set("ok", false).set("error", e);
+                    self.write_reply(out, false, reply);
+                }
+            }
+        }
+        if jobs.is_empty() {
+            return;
+        }
+        self.batches += 1;
+        self.shard.counter("grp_serve_batches_total", &[]).inc();
+        let mut completed: Vec<CellResult> = Vec::new();
+        // Workers record into their own registry shards inside
+        // run_cells_mode (mode.telemetry is this server's registry);
+        // only serve-protocol counters go through self.shard here.
+        let shard = self.shard.clone();
+        let stats = sched::run_cells_mode(&jobs, self.workers, &self.cache, &self.mode, |cell| {
+            let (ok, reply) = match &cell.outcome {
+                Ok(r) => (
+                    true,
+                    Json::object()
+                        .set("id", cell.id)
+                        .set("ok", true)
+                        .set("bench", cell.kernel)
+                        .set("scheme", cell.scheme.label())
+                        .set("scale", scale_label(cell.scale))
+                        .set("worker", cell.worker as u64)
+                        .set("events", cell.events)
+                        .set("replay_seconds", cell.replay_seconds)
+                        .set("result", run_result_json(r, None)),
+                ),
+                Err(e) => (
+                    false,
+                    Json::object().set("id", cell.id).set("ok", false).set("error", e.as_str()),
+                ),
+            };
+            shard
+                .counter("grp_serve_replies_total", &[("ok", if ok { "true" } else { "false" })])
+                .inc();
+            writeln!(out, "{}", reply.render()).expect("write reply");
+            out.flush().expect("flush reply");
+            completed.push(cell);
+        });
+        self.shard
+            .hist("grp_serve_batch_wall_micros", &[])
+            .record((stats.wall_seconds * 1e6) as u64);
+        self.shard
+            .gauge("grp_serve_cached_workloads", &[])
+            .set(self.cache.built_count() as f64);
+        log::log_kv(
+            Level::Info,
+            "serve",
+            "batch complete",
+            &[
+                ("batch", self.batches.into()),
+                ("jobs", (stats.cells as u64).into()),
+                ("errors", (stats.errors as u64).into()),
+                ("wall_seconds", stats.wall_seconds.into()),
+                ("events_per_sec", stats.events_per_sec().into()),
+                ("cached_workloads", (self.cache.built_count() as u64).into()),
+            ],
+        );
+        for cell in &completed {
+            if let Ok(r) = &cell.outcome {
+                self.rows.push(
+                    Json::object()
+                        .set("bench", cell.kernel)
+                        .set("scheme", cell.scheme.label())
+                        .set("events", cell.events)
+                        .set("sim_cycles", r.cycles)
+                        .set("replay_seconds", cell.replay_seconds)
+                        .set(
+                            "events_per_sec",
+                            cell.events as f64 / cell.replay_seconds.max(1e-9),
+                        )
+                        .set("sim_cycles_per_sec", r.cycles as f64 / cell.replay_seconds.max(1e-9))
+                        .set("worker", cell.worker as u64),
+                );
+            }
+        }
+        self.absorb(stats);
+        if self.selfcheck {
+            self.selfcheck_batch(&completed);
+        }
+    }
+
+    /// Folds one batch's fleet stats into the session totals.
+    fn absorb(&mut self, s: FleetStats) {
+        match &mut self.totals {
+            None => self.totals = Some(s),
+            Some(t) => {
+                t.cells += s.cells;
+                t.errors += s.errors;
+                t.wall_seconds += s.wall_seconds;
+                t.events += s.events;
+                t.sim_cycles += s.sim_cycles;
+                t.replay_seconds += s.replay_seconds;
+                t.setup_seconds += s.setup_seconds;
+                t.steals += s.steals;
+                t.queue_wait_micros.absorb(&s.queue_wait_micros);
+                // Worker count is fixed for the session (--jobs), but a
+                // tiny batch can spawn fewer workers than configured —
+                // fold per-worker columns index-wise.
+                for w in 0..s.workers.min(t.workers) {
+                    t.busy_seconds[w] += s.busy_seconds[w];
+                    t.cells_per_worker[w] += s.cells_per_worker[w];
+                }
+            }
+        }
+    }
+
+    /// Re-runs every completed cell serially on a **freshly built**
+    /// workload (no shared cache — full independence from the fleet
+    /// path) and records any bit-difference. The serial side always
+    /// replays materialized, so under `--packed` (or `--trace-cache`)
+    /// this is also a packed-vs-materialized identity gate per reply.
+    fn selfcheck_batch(&mut self, completed: &[CellResult]) {
+        for cell in completed {
+            let Ok(got) = &cell.outcome else { continue };
+            let Some(w) = grp_workloads::by_name(cell.kernel) else { continue };
+            let want = w.build(cell.scale).run(cell.scheme, &self.cfg);
+            if *got != want {
+                log::log_kv(
+                    Level::Error,
+                    "serve",
+                    "selfcheck mismatch: fleet result differs from serial path",
+                    &[
+                        ("bench", cell.kernel.into()),
+                        ("scheme", cell.scheme.label().into()),
+                        ("scale", scale_label(cell.scale).into()),
+                        ("fleet_cycles", got.cycles.into()),
+                        ("serial_cycles", want.cycles.into()),
+                    ],
+                );
+                self.mismatches += 1;
+                self.shard.counter("grp_serve_selfcheck_mismatches_total", &[]).inc();
+            }
+        }
+    }
+
+    /// Writes the registry as Prometheus-style text to `path` and as
+    /// JSON (with the explicitly wall-clock `scraped_at_unix_micros`
+    /// field) to `<path>.json`, both atomically.
+    ///
+    /// # Errors
+    ///
+    /// Any staged-write I/O error; metrics export is best-effort, so
+    /// callers typically warn and continue.
+    pub fn write_metrics(&self, path: &str) -> std::io::Result<()> {
+        let snap = self.registry.snapshot();
+        crate::artifact::atomic_write(path, exposition::render_text(&snap))?;
+        let scraped_at = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_micros() as u64)
+            .unwrap_or(0);
+        let doc = exposition::snapshot_json(&snap, Some(scraped_at));
+        crate::artifact::atomic_write(format!("{path}.json"), doc.render())
+    }
+}
+
+/// Bounded exponential backoff for socket accept failures: 10ms
+/// doubling to a 1.28s cap, giving up (terminal `None`) after 8
+/// consecutive failures. One success resets the schedule — only an
+/// unbroken failure run is treated as a dead listener.
+#[derive(Debug, Default)]
+pub struct AcceptBackoff {
+    consecutive: u32,
+}
+
+impl AcceptBackoff {
+    /// Consecutive failures tolerated before giving up.
+    pub const MAX_FAILURES: u32 = 8;
+
+    /// A fresh schedule.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers one failure: the delay to sleep before retrying, or
+    /// `None` when the failure run is terminal and the caller should
+    /// stop accepting.
+    pub fn on_failure(&mut self) -> Option<Duration> {
+        self.consecutive += 1;
+        if self.consecutive > Self::MAX_FAILURES {
+            return None;
+        }
+        // 10ms, 20ms, 40ms, … capped at 1280ms.
+        Some(Duration::from_millis(10u64 << (self.consecutive - 1).min(7)))
+    }
+
+    /// Registers a successful accept, resetting the schedule.
+    pub fn on_success(&mut self) {
+        self.consecutive = 0;
+    }
+}
+
+/// The trajectory/scale tag for a workload scale.
+pub fn scale_label(scale: Scale) -> &'static str {
+    match scale {
+        Scale::Test => "test",
+        Scale::Small => "small",
+        Scale::Paper => "paper",
+    }
+}
+
+/// Parses one request line into a job or stats probe; errors carry the
+/// reply id.
+///
+/// # Errors
+///
+/// `(id, message)` naming the malformed field; the reply id is the
+/// request's own `id` when present and well-formed, else the 1-based
+/// line number.
+pub fn parse_request(
+    line: &str,
+    lineno: u64,
+    default_scale: SuiteScale,
+) -> Result<Request, (u64, String)> {
+    let doc = Json::parse(line).map_err(|e| (lineno, format!("malformed request: {e}")))?;
+    let fields = doc
+        .entries()
+        .ok_or((lineno, "request must be a JSON object".to_string()))?;
+    // The id (when present and well-formed) tags even the errors below.
+    let id = doc.get("id").and_then(|v| v.as_u64()).unwrap_or(lineno);
+    if doc.get("stats").is_some() {
+        for (key, value) in fields {
+            match key.as_str() {
+                "stats" => {
+                    if value.as_bool() != Some(true) {
+                        return Err((id, "'stats' must be true".to_string()));
+                    }
+                }
+                "id" => {
+                    value
+                        .as_u64()
+                        .ok_or((id, "'id' must be a non-negative integer".to_string()))?;
+                }
+                other => {
+                    return Err((
+                        id,
+                        format!("unknown stats-request field '{other}' (valid: stats, id)"),
+                    ))
+                }
+            }
+        }
+        return Ok(Request::Stats { id });
+    }
+    let mut kernel: Option<&'static str> = None;
+    let mut scheme: Option<Scheme> = None;
+    let mut scale: Scale = default_scale.workload_scale();
+    for (key, value) in fields {
+        match key.as_str() {
+            "id" => {
+                value
+                    .as_u64()
+                    .ok_or((id, "'id' must be a non-negative integer".to_string()))?;
+            }
+            "kernel" => {
+                let name = value
+                    .as_str()
+                    .ok_or((id, "'kernel' must be a string".to_string()))?;
+                kernel = Some(
+                    grp_workloads::by_name(name)
+                        .map(|w| w.name)
+                        .ok_or_else(|| {
+                            (id, format!("unknown kernel '{name}' (valid: registry names, e.g. gzip, mcf, bzip2)"))
+                        })?,
+                );
+            }
+            "scheme" => {
+                let label = value
+                    .as_str()
+                    .ok_or((id, "'scheme' must be a string".to_string()))?;
+                scheme = Some(Scheme::by_label(label).ok_or_else(|| {
+                    (
+                        id,
+                        format!(
+                            "unknown scheme '{label}' (valid: {})",
+                            Scheme::ALL.map(|s| s.label()).join(", ")
+                        ),
+                    )
+                })?);
+            }
+            "scale" => {
+                let s = value
+                    .as_str()
+                    .ok_or((id, "'scale' must be a string".to_string()))?;
+                scale = SuiteScale::parse(s)
+                    .ok_or_else(|| (id, format!("unknown scale '{s}' (valid: test, small, paper)")))?
+                    .workload_scale();
+            }
+            other => {
+                return Err((
+                    id,
+                    format!(
+                        "unknown request field '{other}' (valid: id, kernel, scheme, scale, stats)"
+                    ),
+                ))
+            }
+        }
+    }
+    Ok(Request::Job(CellJob {
+        id,
+        kernel: kernel.ok_or((id, "request missing 'kernel'".to_string()))?,
+        scheme: scheme.ok_or((id, "request missing 'scheme'".to_string()))?,
+        scale,
+        cfg: SimConfig::paper(),
+    }))
+}
+
+/// Validates a saved reply stream: every line parses, has a boolean
+/// `ok`, and successful replies carry the summary fields (stats
+/// replies carry their snapshot object instead). Any `ok: false` line
+/// is reported as a failure.
+///
+/// # Errors
+///
+/// The first malformed or failed line, or an empty file.
+pub fn check_replies(path: &str) -> Result<usize, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read: {e}"))?;
+    let mut n = 0usize;
+    for (i, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let doc = Json::parse(line).map_err(|e| format!("line {}: malformed: {e}", i + 1))?;
+        let ok = doc
+            .get("ok")
+            .and_then(|v| v.as_bool())
+            .ok_or(format!("line {}: missing boolean 'ok'", i + 1))?;
+        doc.get("id")
+            .and_then(|v| v.as_u64())
+            .ok_or(format!("line {}: missing 'id'", i + 1))?;
+        if !ok {
+            let e = doc.get("error").and_then(|v| v.as_str()).unwrap_or("<no error field>");
+            return Err(format!("line {}: reply failed: {e}", i + 1));
+        }
+        if let Some(stats) = doc.get("stats") {
+            if stats.get("counters").is_none() {
+                return Err(format!("line {}: stats reply missing 'counters'", i + 1));
+            }
+            n += 1;
+            continue;
+        }
+        for key in ["bench", "scheme", "scale"] {
+            doc.get(key)
+                .and_then(|v| v.as_str())
+                .ok_or(format!("line {}: missing string '{key}'", i + 1))?;
+        }
+        let cycles = doc
+            .get("result")
+            .and_then(|r| r.get("cycles"))
+            .and_then(|v| v.as_u64())
+            .ok_or(format!("line {}: missing result.cycles", i + 1))?;
+        if cycles == 0 {
+            return Err(format!("line {}: zero-cycle result", i + 1));
+        }
+        n += 1;
+    }
+    if n == 0 {
+        return Err("no replies in file".to_string());
+    }
+    Ok(n)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn test_server(workers: usize) -> Server {
+        Server::new(ServerOpts {
+            workers,
+            default_scale: SuiteScale::Test,
+            cfg: SimConfig::paper(),
+            mode: ReplayMode::default(),
+            selfcheck: false,
+            registry: Arc::new(Registry::new()),
+        })
+    }
+
+    fn run_session(server: &mut Server, input: &str) -> Vec<Json> {
+        let mut out = Vec::new();
+        server.session(std::io::Cursor::new(input.to_string()), &mut out);
+        String::from_utf8(out)
+            .expect("utf8 replies")
+            .lines()
+            .map(|l| Json::parse(l).expect("reply parses"))
+            .collect()
+    }
+
+    #[test]
+    fn accept_backoff_schedule_is_exact() {
+        let mut b = AcceptBackoff::new();
+        let mut delays = Vec::new();
+        loop {
+            match b.on_failure() {
+                Some(d) => delays.push(d.as_millis() as u64),
+                None => break,
+            }
+        }
+        assert_eq!(delays, [10, 20, 40, 80, 160, 320, 640, 1280]);
+        // A success resets the schedule back to the first step.
+        b.on_success();
+        assert_eq!(b.on_failure(), Some(Duration::from_millis(10)));
+    }
+
+    #[test]
+    fn parse_request_handles_jobs_stats_and_rejections() {
+        let job = parse_request(
+            r#"{"kernel":"twolf","scheme":"SRP","id":9}"#,
+            1,
+            SuiteScale::Test,
+        )
+        .expect("job parses");
+        match job {
+            Request::Job(j) => {
+                assert_eq!(j.id, 9);
+                assert_eq!(j.kernel, "twolf");
+            }
+            other => panic!("expected job, got {other:?}"),
+        }
+        match parse_request(r#"{"stats":true,"id":3}"#, 2, SuiteScale::Test).expect("stats") {
+            Request::Stats { id } => assert_eq!(id, 3),
+            other => panic!("expected stats, got {other:?}"),
+        }
+        let (_, e) =
+            parse_request(r#"{"stats":false}"#, 3, SuiteScale::Test).unwrap_err();
+        assert!(e.contains("'stats' must be true"), "{e}");
+        let (_, e) =
+            parse_request(r#"{"stats":true,"kernel":"gzip"}"#, 4, SuiteScale::Test).unwrap_err();
+        assert!(e.contains("unknown stats-request field 'kernel'"), "{e}");
+        let (_, e) = parse_request(r#"{"kernel":"twolf"}"#, 5, SuiteScale::Test).unwrap_err();
+        assert!(e.contains("missing 'scheme'"), "{e}");
+    }
+
+    #[test]
+    fn stats_reply_counts_match_session_activity() {
+        let mut server = test_server(2);
+        // 3 job requests (one bad scheme), a flush, then a stats probe.
+        let input = concat!(
+            r#"{"kernel":"twolf","scheme":"none","id":1}"#, "\n",
+            r#"{"kernel":"crafty","scheme":"SRP","id":2}"#, "\n",
+            r#"{"kernel":"twolf","scheme":"SPR","id":3}"#, "\n",
+            "\n",
+            r#"{"stats":true,"id":99}"#, "\n",
+        );
+        let replies = run_session(&mut server, input);
+        assert_eq!(replies.len(), 4, "3 job replies + 1 stats reply");
+        let stats = replies
+            .iter()
+            .find(|r| r.get("id").and_then(|v| v.as_u64()) == Some(99))
+            .and_then(|r| r.get("stats"))
+            .expect("stats reply present");
+        let counter = |name: &str| {
+            stats
+                .get("counters")
+                .and_then(|c| c.get(name))
+                .and_then(|v| v.as_u64())
+                .unwrap_or(0)
+        };
+        // 4 non-blank request lines: 3 jobs + the stats probe itself.
+        assert_eq!(counter("grp_serve_requests_total"), 4);
+        assert_eq!(counter("grp_serve_stats_requests_total"), 1);
+        assert_eq!(counter("grp_serve_request_errors_total"), 1);
+        assert_eq!(counter("grp_serve_batches_total"), 1);
+        // The batch replayed exactly the two valid cells.
+        assert_eq!(counter("grp_fleet_cells_total{bench=\"twolf\",scheme=\"none\"}"), 1);
+        assert_eq!(counter("grp_fleet_cells_total{bench=\"crafty\",scheme=\"SRP\"}"), 1);
+        // Replies at stats time: 2 ok cells + 1 error + the stats
+        // reply itself (counted before rendering the snapshot).
+        assert_eq!(counter("grp_serve_replies_total{ok=\"true\"}"), 3);
+        assert_eq!(counter("grp_serve_replies_total{ok=\"false\"}"), 1);
+        // Session totals track the successful cells.
+        let totals = server.totals().expect("batch ran");
+        assert_eq!(totals.cells, 2);
+        assert_eq!(totals.errors, 0);
+        assert_eq!(server.mismatches(), 0);
+    }
+
+    #[test]
+    fn selfcheck_passes_on_identical_paths_and_metrics_export_roundtrips() {
+        let mut server = Server::new(ServerOpts {
+            workers: 2,
+            default_scale: SuiteScale::Test,
+            cfg: SimConfig::paper(),
+            mode: ReplayMode { packed: true, trace_cache: None, telemetry: None },
+            selfcheck: true,
+            registry: Arc::new(Registry::new()),
+        });
+        let input = concat!(
+            r#"{"kernel":"gzip","scheme":"SRP"}"#, "\n",
+            r#"{"kernel":"mcf","scheme":"none"}"#, "\n",
+        );
+        let replies = run_session(&mut server, input);
+        assert_eq!(replies.len(), 2);
+        assert!(replies.iter().all(|r| r.get("ok").and_then(|v| v.as_bool()) == Some(true)));
+        assert_eq!(server.mismatches(), 0, "packed fleet path matches serial replay");
+
+        let dir = std::env::temp_dir().join(format!("grp-serve-metrics-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("metrics.prom");
+        server.write_metrics(path.to_str().unwrap()).expect("export");
+        let text = std::fs::read_to_string(&path).expect("text exists");
+        let parsed = exposition::validate_text(&text).expect("exposition validates");
+        assert!(parsed.counters.contains_key("grp_serve_batches_total"));
+        let twin = std::fs::read_to_string(format!("{}.json", path.display())).expect("json twin");
+        let doc = Json::parse(&twin).expect("twin parses");
+        assert!(doc.get("scraped_at_unix_micros").and_then(|v| v.as_u64()).is_some());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn reply_stream_with_stats_passes_check_replies() {
+        let mut server = test_server(1);
+        let input = concat!(
+            r#"{"kernel":"twolf","scheme":"none"}"#, "\n",
+            "\n",
+            r#"{"stats":true}"#, "\n",
+        );
+        let mut out = Vec::new();
+        server.session(std::io::Cursor::new(input.to_string()), &mut out);
+        let dir = std::env::temp_dir().join(format!("grp-serve-replies-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("replies.ndjson");
+        std::fs::write(&path, &out).unwrap();
+        let n = check_replies(path.to_str().unwrap()).expect("replies validate");
+        assert_eq!(n, 2, "one job reply + one stats reply");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

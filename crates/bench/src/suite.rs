@@ -59,7 +59,7 @@ pub fn parse_scale_args(args: &[String]) -> Result<SuiteScale, String> {
 pub fn scale_from_args() -> SuiteScale {
     let args: Vec<String> = std::env::args().collect();
     parse_scale_args(&args).unwrap_or_else(|e| {
-        eprintln!("error: {e}");
+        crate::telemetry::log::error("suite", &e);
         std::process::exit(2);
     })
 }
@@ -146,7 +146,7 @@ impl Suite {
             return r.clone();
         }
         if self.verbose {
-            eprintln!("  running {name} / {scheme}…");
+            crate::telemetry::log::info("suite", &format!("running {name} / {scheme}…"));
         }
         let cfg = self.cfg;
         let r = if self.replay.is_default() {
@@ -250,7 +250,7 @@ impl Suite {
                         return;
                     };
                     if verbose {
-                        eprintln!("  [precompute] {name}…");
+                        crate::telemetry::log::info("suite", &format!("[precompute] {name}…"));
                     }
                     // The whole per-kernel job, buffered locally so a
                     // panic mid-scheme leaves no partial results behind.
@@ -347,11 +347,15 @@ impl Suite {
         let mut failures: Vec<String> = Vec::new();
         let stats = sched::run_cells_mode(&cells, workers, &cache, &self.replay, |cell| {
             if verbose {
-                eprintln!(
-                    "  [fleet] {}/{} done (worker {})",
-                    cell.kernel,
-                    cell.scheme.label(),
-                    cell.worker
+                crate::telemetry::log::log_kv(
+                    crate::telemetry::log::Level::Info,
+                    "suite",
+                    "fleet cell done",
+                    &[
+                        ("bench", cell.kernel.into()),
+                        ("scheme", cell.scheme.label().into()),
+                        ("worker", (cell.worker as u64).into()),
+                    ],
                 );
             }
             match cell.outcome {
@@ -371,9 +375,12 @@ impl Suite {
             }
         }
         if verbose {
-            eprintln!(
-                "  [fleet] {} cells on {} workers in {:.3}s ({} steals)",
-                stats.cells, stats.workers, stats.wall_seconds, stats.steals
+            crate::telemetry::log::info(
+                "suite",
+                &format!(
+                    "[fleet] {} cells on {} workers in {:.3}s ({} steals)",
+                    stats.cells, stats.workers, stats.wall_seconds, stats.steals
+                ),
             );
         }
         if failures.is_empty() {
@@ -601,8 +608,8 @@ mod tests {
         let tc = Arc::new(crate::tracecache::TraceCache::new(&dir));
         // Packed tier, cold cache, then a second suite hitting the warm
         // cache — all bit-identical to the default path.
-        let packed = ReplayMode { packed: true, trace_cache: None };
-        let both = ReplayMode { packed: true, trace_cache: Some(tc.clone()) };
+        let packed = ReplayMode { packed: true, trace_cache: None, telemetry: None };
+        let both = ReplayMode { packed: true, trace_cache: Some(tc.clone()), telemetry: None };
         let mut s = Suite::new(SuiteScale::Test).with_replay(packed);
         assert_eq!(s.run("twolf", Scheme::GrpVar), want);
         let mut cold = Suite::new(SuiteScale::Test).with_replay(both.clone());
@@ -615,7 +622,7 @@ mod tests {
         );
         // The cell scheduler honours the suite's mode too.
         let mut cells = Suite::new(SuiteScale::Test)
-            .with_replay(ReplayMode { packed: true, trace_cache: Some(tc) });
+            .with_replay(ReplayMode { packed: true, trace_cache: Some(tc), telemetry: None });
         cells
             .precompute_cells(&["twolf"], &[Scheme::GrpVar, Scheme::NoPrefetch], Some(2))
             .expect("clean grid");

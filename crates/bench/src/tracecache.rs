@@ -43,6 +43,71 @@ const MAGIC: [u8; 4] = *b"GRPC";
 /// read as stale and rebuild.
 const VERSION: u32 = 1;
 
+/// Why a cache lookup did not produce a usable entry. The label feeds
+/// the `grp_tracecache_misses_total{reason=…}` counter, so each
+/// corruption class is countable separately (and testable: flipping a
+/// byte must increment `checksum_mismatch`, not a catch-all).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MissReason {
+    /// No entry file for this key (a cold cache, the common miss).
+    Absent,
+    /// The entry exists but reading it failed (permissions, I/O).
+    Io,
+    /// The file does not start with the "GRPC" magic.
+    BadMagic,
+    /// The entry was written by a different format version.
+    StaleVersion,
+    /// The whole-entry FNV-1a checksum does not match (corrupt/torn).
+    ChecksumMismatch,
+    /// The payload ends before its structure says it should.
+    Truncated,
+    /// Unread bytes follow a structurally-complete payload.
+    TrailingBytes,
+    /// The embedded packed trace failed its own validation.
+    BadPackedTrace,
+}
+
+impl MissReason {
+    /// The metric-label form (`"checksum_mismatch"`).
+    pub fn label(self) -> &'static str {
+        match self {
+            MissReason::Absent => "absent",
+            MissReason::Io => "io",
+            MissReason::BadMagic => "bad_magic",
+            MissReason::StaleVersion => "stale_version",
+            MissReason::ChecksumMismatch => "checksum_mismatch",
+            MissReason::Truncated => "truncated",
+            MissReason::TrailingBytes => "trailing_bytes",
+            MissReason::BadPackedTrace => "bad_packed_trace",
+        }
+    }
+}
+
+/// A failed [`TraceCache::probe`]: the classified reason plus the
+/// human-readable first-failure message (same text the string errors
+/// carried before reasons were typed).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProbeError {
+    /// The classified failure, for counters and dispatch.
+    pub reason: MissReason,
+    /// The detailed message (includes the entry path from `probe`).
+    pub detail: String,
+}
+
+impl ProbeError {
+    fn new(reason: MissReason, detail: impl Into<String>) -> Self {
+        ProbeError { reason, detail: detail.into() }
+    }
+}
+
+impl std::fmt::Display for ProbeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.detail)
+    }
+}
+
+impl std::error::Error for ProbeError {}
+
 /// A directory of packed-trace cache entries.
 #[derive(Debug, Clone)]
 pub struct TraceCache {
@@ -69,31 +134,72 @@ impl TraceCache {
     /// Loads a valid entry, or `None` when the entry is absent, stale,
     /// or corrupt in any way — the caller rebuilds in every `None`
     /// case. Use [`TraceCache::probe`] when the reason matters.
+    ///
+    /// Every call lands in the process-global metrics registry:
+    /// `grp_tracecache_hits_total` on a hit,
+    /// `grp_tracecache_misses_total{reason=…}` (one counter per
+    /// [`MissReason`]) on a miss — and non-absent misses are logged at
+    /// debug level with the full first-failure message.
     pub fn load(
         &self,
         kernel: &str,
         scale: Scale,
         cc: Option<&AnalysisConfig>,
     ) -> Option<(PackedTrace, Memory, HeapRange)> {
-        self.probe(kernel, scale, cc).ok()
+        let shard = crate::telemetry::process_shard();
+        match self.probe(kernel, scale, cc) {
+            Ok(entry) => {
+                shard.counter("grp_tracecache_hits_total", &[]).inc();
+                Some(entry)
+            }
+            Err(e) => {
+                shard
+                    .counter("grp_tracecache_misses_total", &[("reason", e.reason.label())])
+                    .inc();
+                if e.reason != MissReason::Absent {
+                    // An absent entry is the normal cold-cache path;
+                    // anything else means a real entry was rejected.
+                    crate::telemetry::log::log_kv(
+                        crate::telemetry::log::Level::Debug,
+                        "tracecache",
+                        "cache entry rejected; rebuilding",
+                        &[
+                            ("bench", kernel.into()),
+                            ("reason", e.reason.label().into()),
+                            ("detail", e.detail.as_str().into()),
+                        ],
+                    );
+                }
+                None
+            }
+        }
     }
 
-    /// Like [`TraceCache::load`], naming why the entry is unusable.
+    /// Like [`TraceCache::load`], naming why the entry is unusable
+    /// (no metrics side effects — `load` owns the counters).
     ///
     /// # Errors
     ///
-    /// A message naming the first validation failure: missing file,
-    /// bad magic, stale version, truncation, checksum mismatch,
-    /// trailing bytes, or an invalid embedded packed trace.
+    /// A [`ProbeError`] classifying the first validation failure:
+    /// missing file, bad magic, stale version, truncation, checksum
+    /// mismatch, trailing bytes, or an invalid embedded packed trace.
     pub fn probe(
         &self,
         kernel: &str,
         scale: Scale,
         cc: Option<&AnalysisConfig>,
-    ) -> Result<(PackedTrace, Memory, HeapRange), String> {
+    ) -> Result<(PackedTrace, Memory, HeapRange), ProbeError> {
         let path = self.entry_path(kernel, scale, cc);
-        let bytes = std::fs::read(&path).map_err(|e| format!("{}: {e}", path.display()))?;
-        decode_entry(&bytes).map_err(|e| format!("{}: {e}", path.display()))
+        let bytes = std::fs::read(&path).map_err(|e| {
+            let reason = if e.kind() == io::ErrorKind::NotFound {
+                MissReason::Absent
+            } else {
+                MissReason::Io
+            };
+            ProbeError::new(reason, format!("{}: {e}", path.display()))
+        })?;
+        decode_entry(&bytes)
+            .map_err(|e| ProbeError::new(e.reason, format!("{}: {}", path.display(), e.detail)))
     }
 
     /// Persists one entry via the atomic-write layer (safe against
@@ -151,23 +257,36 @@ pub fn encode_entry(trace: &PackedTrace, mem: &Memory, heap: HeapRange) -> Vec<u
 ///
 /// # Errors
 ///
-/// Names the first structural problem; never panics on any input.
-pub fn decode_entry(bytes: &[u8]) -> Result<(PackedTrace, Memory, HeapRange), String> {
+/// A [`ProbeError`] naming the first structural problem; never panics
+/// on any input.
+pub fn decode_entry(bytes: &[u8]) -> Result<(PackedTrace, Memory, HeapRange), ProbeError> {
     if bytes.len() < 8 {
-        return Err("truncated: shorter than the checksum alone".into());
+        return Err(ProbeError::new(
+            MissReason::Truncated,
+            "truncated: shorter than the checksum alone",
+        ));
     }
     let (body, sum_bytes) = bytes.split_at(bytes.len() - 8);
     let want = u64::from_le_bytes(sum_bytes.try_into().expect("8 bytes"));
     if fnv1a64(body) != want {
-        return Err("checksum mismatch (corrupt or torn entry)".into());
+        return Err(ProbeError::new(
+            MissReason::ChecksumMismatch,
+            "checksum mismatch (corrupt or torn entry)",
+        ));
     }
     let mut c = Cur { b: body, at: 0 };
     if c.take(4)? != MAGIC {
-        return Err("bad magic (not a trace-cache entry)".into());
+        return Err(ProbeError::new(
+            MissReason::BadMagic,
+            "bad magic (not a trace-cache entry)",
+        ));
     }
     let version = u32::from_le_bytes(c.take(4)?.try_into().expect("4 bytes"));
     if version != VERSION {
-        return Err(format!("stale entry version {version} (current {VERSION})"));
+        return Err(ProbeError::new(
+            MissReason::StaleVersion,
+            format!("stale entry version {version} (current {VERSION})"),
+        ));
     }
     let heap = HeapRange {
         start: Addr(c.u64()?),
@@ -179,7 +298,10 @@ pub fn decode_entry(bytes: &[u8]) -> Result<(PackedTrace, Memory, HeapRange), St
     // actually present.
     let per_page = (8 + PAGE_BYTES) as u64;
     if n_pages > (body.len() as u64 - c.at as u64) / per_page {
-        return Err(format!("truncated: claims {n_pages} pages beyond the payload"));
+        return Err(ProbeError::new(
+            MissReason::Truncated,
+            format!("truncated: claims {n_pages} pages beyond the payload"),
+        ));
     }
     let mut mem = Memory::new();
     for _ in 0..n_pages {
@@ -192,12 +314,18 @@ pub fn decode_entry(bytes: &[u8]) -> Result<(PackedTrace, Memory, HeapRange), St
     }
     let packed_len = c.u64()?;
     if packed_len > (body.len() - c.at) as u64 {
-        return Err("truncated: packed trace length exceeds the payload".into());
+        return Err(ProbeError::new(
+            MissReason::Truncated,
+            "truncated: packed trace length exceeds the payload",
+        ));
     }
     let trace = PackedTrace::from_bytes(c.take(packed_len as usize)?)
-        .map_err(|e| format!("embedded packed trace: {e}"))?;
+        .map_err(|e| ProbeError::new(MissReason::BadPackedTrace, format!("embedded packed trace: {e}")))?;
     if c.at != body.len() {
-        return Err(format!("trailing bytes: {} unread", body.len() - c.at));
+        return Err(ProbeError::new(
+            MissReason::TrailingBytes,
+            format!("trailing bytes: {} unread", body.len() - c.at),
+        ));
     }
     Ok((trace, mem, heap))
 }
@@ -208,16 +336,19 @@ struct Cur<'a> {
 }
 
 impl<'a> Cur<'a> {
-    fn take(&mut self, n: usize) -> Result<&'a [u8], String> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], ProbeError> {
         if self.b.len() - self.at < n {
-            return Err(format!("truncated at byte {}", self.at));
+            return Err(ProbeError::new(
+                MissReason::Truncated,
+                format!("truncated at byte {}", self.at),
+            ));
         }
         let s = &self.b[self.at..self.at + n];
         self.at += n;
         Ok(s)
     }
 
-    fn u64(&mut self) -> Result<u64, String> {
+    fn u64(&mut self) -> Result<u64, ProbeError> {
         Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8 bytes")))
     }
 }
@@ -341,7 +472,8 @@ mod tests {
         bad[mid] ^= 0x40;
         std::fs::write(&path, &bad).unwrap();
         let err = cache.probe("twolf", Scale::Test, None).unwrap_err();
-        assert!(err.contains("checksum mismatch"), "{err}");
+        assert_eq!(err.reason, MissReason::ChecksumMismatch);
+        assert!(err.detail.contains("checksum mismatch"), "{err}");
         assert!(cache.load("twolf", Scale::Test, None).is_none(), "corrupt reads as a miss");
 
         // Truncation at every decile: a miss, never a panic.
@@ -362,7 +494,8 @@ mod tests {
         stale[body_len..].copy_from_slice(&sum.to_le_bytes());
         std::fs::write(&path, &stale).unwrap();
         let err = cache.probe("twolf", Scale::Test, None).unwrap_err();
-        assert!(err.contains("stale entry version 99"), "{err}");
+        assert_eq!(err.reason, MissReason::StaleVersion);
+        assert!(err.detail.contains("stale entry version 99"), "{err}");
 
         // Wrong magic.
         let mut nomagic = good.clone();
@@ -371,7 +504,8 @@ mod tests {
         nomagic[body_len..].copy_from_slice(&sum.to_le_bytes());
         std::fs::write(&path, &nomagic).unwrap();
         let err = cache.probe("twolf", Scale::Test, None).unwrap_err();
-        assert!(err.contains("bad magic"), "{err}");
+        assert_eq!(err.reason, MissReason::BadMagic);
+        assert!(err.detail.contains("bad magic"), "{err}");
 
         // Overwriting with a fresh store recovers.
         cache.store("twolf", Scale::Test, None, &pt, &mem, heap).expect("re-store");

@@ -407,10 +407,18 @@ pub struct LatencyHist {
 }
 
 impl LatencyHist {
+    /// The bucket index for one sample: `v`'s bit length, capped at 31
+    /// (bucket 0 is exactly `v == 0`). Public so external shard
+    /// implementations (e.g. the bench harness's lock-free telemetry
+    /// counters) bucket identically and can merge via
+    /// [`LatencyHist::absorb_parts`].
+    pub fn bucket_index(v: u64) -> usize {
+        if v == 0 { 0 } else { (64 - v.leading_zeros()) as usize }.min(31)
+    }
+
     /// Record one latency sample (in cycles).
     pub fn record(&mut self, v: u64) {
-        let idx = if v == 0 { 0 } else { (64 - v.leading_zeros()) as usize }.min(31);
-        self.buckets[idx] += 1;
+        self.buckets[Self::bucket_index(v)] += 1;
         self.count += 1;
         self.sum += v;
         self.max = self.max.max(v);
@@ -467,6 +475,25 @@ impl LatencyHist {
         self.count += other.count;
         self.sum += other.sum;
         self.max = self.max.max(other.max);
+    }
+
+    /// [`LatencyHist::absorb`] from raw parts: folds in bucket counts
+    /// produced elsewhere under the [`LatencyHist::bucket_index`]
+    /// contract (e.g. a lock-free atomic shard snapshotted bucket by
+    /// bucket). The sample count is derived from the buckets — not
+    /// taken on trust — so a snapshot torn between a bucket update and
+    /// a separate count update can never make `count()` disagree with
+    /// the bucket totals. `sum`/`max` are advisory (mean/percentile
+    /// clamping) and folded as given.
+    pub fn absorb_parts(&mut self, buckets: &[u64; 32], sum: u64, max: u64) {
+        let mut added = 0u64;
+        for (b, o) in self.buckets.iter_mut().zip(buckets.iter()) {
+            *b += o;
+            added += o;
+        }
+        self.count += added;
+        self.sum += sum;
+        self.max = self.max.max(max);
     }
 
     /// Raw bucket counts; bucket `i` covers bit-length-`i` values.
@@ -1038,6 +1065,40 @@ mod tests {
         let s = format!("{h}");
         assert!(s.contains("n=7"), "{s}");
         assert!(s.contains("[64-127]=1"), "{s}");
+    }
+
+    #[test]
+    fn hist_absorb_parts_matches_absorb() {
+        // bucket_index is the single bucketing contract.
+        assert_eq!(LatencyHist::bucket_index(0), 0);
+        assert_eq!(LatencyHist::bucket_index(1), 1);
+        assert_eq!(LatencyHist::bucket_index(2), 2);
+        assert_eq!(LatencyHist::bucket_index(3), 2);
+        assert_eq!(LatencyHist::bucket_index(4), 3);
+        assert_eq!(LatencyHist::bucket_index(u64::MAX), 31);
+        let mut other = LatencyHist::default();
+        for v in [0, 7, 9000, 1 << 40] {
+            other.record(v);
+        }
+        let mut via_absorb = LatencyHist::default();
+        via_absorb.record(12);
+        let mut via_parts = via_absorb.clone();
+        via_absorb.absorb(&other);
+        via_parts.absorb_parts(other.buckets(), other.sum(), other.max());
+        assert_eq!(via_parts.count(), via_absorb.count());
+        assert_eq!(via_parts.sum(), via_absorb.sum());
+        assert_eq!(via_parts.max(), via_absorb.max());
+        assert_eq!(via_parts.buckets(), via_absorb.buckets());
+        // The count is derived from the buckets, never taken on trust:
+        // absorbing parts twice doubles count in lockstep with buckets.
+        let before = via_parts.count();
+        via_parts.absorb_parts(other.buckets(), other.sum(), other.max());
+        assert_eq!(via_parts.count(), before + other.count());
+        assert_eq!(
+            via_parts.buckets().iter().sum::<u64>(),
+            via_parts.count(),
+            "bucket totals always equal count"
+        );
     }
 
     #[test]

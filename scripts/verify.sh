@@ -125,6 +125,80 @@ if printf '{"kernel":"gzip","scheme":"not-a-scheme","id":1}\n' \
 fi
 echo "  -- bad scheme: flagged"
 
+echo "== telemetry smoke: metrics exposition valid, monotone across sessions =="
+# One serve process on a unix socket, scraped after each client session:
+# the second scrape must re-validate (declared families, histogram
+# bucket invariants) and be counter-monotone against the first — the
+# same registry accumulating, never resetting. The JSON twin must carry
+# its wall-clock in exactly one marked field.
+METRICS="$TRACE_TMP/serve_metrics.prom"
+SOCK="$TRACE_TMP/serve.sock"
+cargo run --release -q --offline -p grp-bench --bin serve -- \
+    --scale test --jobs 2 --socket "$SOCK" --metrics-out "$METRICS" \
+    2> /dev/null &
+SERVE_PID=$!
+for _ in $(seq 1 100); do [ -S "$SOCK" ] && break; sleep 0.1; done
+[ -S "$SOCK" ] || { echo "ERROR: serve socket never appeared" >&2; exit 1; }
+send_session() {
+    python3 - "$SOCK" "$1" <<'PYEOF'
+import socket, sys
+s = socket.socket(socket.AF_UNIX)
+s.connect(sys.argv[1])
+s.sendall(sys.argv[2].encode())
+s.shutdown(socket.SHUT_WR)
+while True:
+    chunk = s.recv(65536)
+    if not chunk:
+        break
+    sys.stdout.write(chunk.decode())
+PYEOF
+}
+send_session $'{"kernel":"gzip","scheme":"SRP","id":1}\n\n' > /dev/null
+for _ in $(seq 1 100); do [ -s "$METRICS" ] && break; sleep 0.1; done
+cp "$METRICS" "$METRICS.prev"
+# Session 2 is a superset (two jobs + an in-band stats probe), so every
+# cumulative series must strictly not regress in the second scrape.
+send_session $'{"kernel":"gzip","scheme":"SRP","id":2}\n{"kernel":"mcf","scheme":"none","id":3}\n{"stats":true,"id":4}\n\n' \
+    > "$TRACE_TMP/serve_stats.replies"
+for _ in $(seq 1 100); do
+    grep -q 'grp_serve_sessions_total 2' "$METRICS" 2>/dev/null && break
+    sleep 0.1
+done
+kill "$SERVE_PID" 2> /dev/null; wait "$SERVE_PID" 2> /dev/null || true
+grep -q '"stats":{' "$TRACE_TMP/serve_stats.replies" || {
+    echo "ERROR: serve did not answer the in-band stats probe" >&2
+    exit 1
+}
+cargo run --release -q --offline -p grp-bench --bin check -- \
+    --metrics "$METRICS" --metrics-prev "$METRICS.prev" \
+    --metrics-require grp_serve_requests_total,grp_serve_batches_total,grp_serve_stats_requests_total,grp_fleet_cells_total
+grep -q '"scraped_at_unix_micros":' "$METRICS.json" || {
+    echo "ERROR: metrics JSON twin is missing its scrape timestamp" >&2
+    exit 1
+}
+
+echo "== metrics gate has teeth: a broken exposition must be rejected =="
+printf 'orphan_total 3\n' > "$TRACE_TMP/broken.prom"
+if cargo run --release -q --offline -p grp-bench --bin check -- \
+    --metrics "$TRACE_TMP/broken.prom" > /dev/null 2>&1; then
+    echo "ERROR: check --metrics accepted an undeclared sample" >&2
+    exit 1
+fi
+echo "  -- undeclared sample: rejected"
+
+echo "== profile smoke: perf --profile phases cover the wall clock =="
+# The binary itself enforces >= 95% serial coverage (nonzero exit
+# otherwise); the trajectory entry must embed the breakdown and still
+# validate through --check.
+PROFILE_TMP="$TRACE_TMP/profile_perf.json"
+cargo run --release -q --offline -p grp-bench --bin perf -- \
+    --scale test --profile --label verify-profile --out "$PROFILE_TMP" > /dev/null
+cargo run --release -q --offline -p grp-bench --bin perf -- --check "$PROFILE_TMP"
+grep -q '"profile":{' "$PROFILE_TMP" || {
+    echo "ERROR: perf --profile entry does not embed its phase breakdown" >&2
+    exit 1
+}
+
 echo "== trace smoke: lifecycle artifacts round-trip (offline) =="
 # The trace bin self-checks conservation + bit-exact metrics before
 # writing; --check re-parses the written artifacts with the in-tree
@@ -180,6 +254,16 @@ if [ ! -f BENCH_perf.json ]; then
     exit 1
 fi
 cargo run --release -q --offline -p grp-bench --bin perf -- --check BENCH_perf.json
+
+echo "== log lint: eprintln! is banned in grp-bench (structured logger only) =="
+# Every diagnostic must go through grp_bench::telemetry::log so it
+# carries a level, a target, and machine-readable fields. The logger's
+# own module doc is the single allowed mention.
+if grep -rn 'eprintln!' crates/bench/src --include='*.rs' \
+    | grep -v 'telemetry/log\.rs'; then
+    echo "ERROR: raw eprintln! found in grp-bench — use telemetry::log" >&2
+    exit 1
+fi
 
 echo "== hermeticity: no external registry dependencies =="
 if grep -rn 'rand\|proptest\|criterion' crates/*/Cargo.toml Cargo.toml; then
