@@ -53,21 +53,24 @@ pub fn strict_flag(args: &[String], flag: &str) -> Result<bool, String> {
     }
 }
 
+/// Parses a `u64` accepting a `0x` prefix (with `_` separators), so
+/// printed reproducer lines (`--seed 0x5eed…`) paste back verbatim.
+/// Shared by the flag parsers and env-var specs (`GRP_IOFAULT=seed:…`).
+pub fn parse_u64(v: &str) -> Option<u64> {
+    match v.strip_prefix("0x").or_else(|| v.strip_prefix("0X")) {
+        Some(hex) => u64::from_str_radix(&hex.replace('_', ""), 16).ok(),
+        None => v.parse().ok(),
+    }
+}
+
 /// [`strict_value`] for integer flags; additionally errors when the
-/// value does not parse as a `u64`. Accepts a `0x` prefix so printed
-/// reproducer lines (`--seed 0x5eed…`) paste back verbatim.
+/// value does not parse as a `u64` (via [`parse_u64`]).
 pub fn strict_u64(args: &[String], flag: &str, valid: &str) -> Result<Option<u64>, String> {
     match strict_value(args, flag, valid)? {
         None => Ok(None),
-        Some(v) => {
-            let parsed = match v.strip_prefix("0x").or_else(|| v.strip_prefix("0X")) {
-                Some(hex) => u64::from_str_radix(&hex.replace('_', ""), 16),
-                None => v.parse(),
-            };
-            parsed
-                .map(Some)
-                .map_err(|_| format!("{flag} requires an integer, got '{v}' (valid: {valid})"))
-        }
+        Some(v) => parse_u64(&v)
+            .map(|n| Some(n))
+            .ok_or_else(|| format!("{flag} requires an integer, got '{v}' (valid: {valid})")),
     }
 }
 

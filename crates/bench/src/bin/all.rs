@@ -14,9 +14,15 @@
 //! struct-of-arrays tier, and `--trace-cache <dir>` persists packed
 //! pre-interpreted traces so a re-run (or another binary) skips
 //! build + interpretation. Results are bit-identical either way.
+//!
+//! Harness telemetry: the precompute fleet records into the
+//! process-global registry (`grp_suite_precompute_*`, `grp_fleet_*`,
+//! trace-cache counters), and `--registry-out <path>` writes that
+//! registry at exit as Prometheus text plus a `<path>.json` twin —
+//! the same export shape `serve --metrics-out` produces.
 use grp_bench::json::{run_result_json, Json};
 use grp_bench::obs_export::{chrome_trace, flag_u64, flag_value, metrics_json};
-use grp_bench::telemetry::log;
+use grp_bench::telemetry::{self, exposition, log};
 use grp_bench::{experiments, suite::scale_from_args, Suite};
 use grp_core::{EpochSampler, LifecycleTracer, ObserverPair, Scheme};
 use grp_workloads::BenchClass;
@@ -25,10 +31,14 @@ fn main() {
     let scale = scale_from_args();
     let jobs = grp_bench::args::jobs_from_args();
     let argv: Vec<String> = std::env::args().collect();
-    let replay = grp_bench::args::parse_replay_args(&argv).unwrap_or_else(|e| {
-        log::error("all", &e);
-        std::process::exit(2);
-    });
+    let replay = grp_bench::args::parse_replay_args(&argv)
+        .unwrap_or_else(|e| {
+            log::error("all", &e);
+            std::process::exit(2);
+        })
+        // Fleet and cache counters land in the process registry so a
+        // --registry-out scrape covers the whole precompute phase.
+        .with_telemetry(telemetry::registry().clone());
     let mut suite = Suite::new(scale).verbose().with_replay(replay);
     println!("GRP reproduction — full evaluation at {scale:?} scale\n");
     // Warm the memo table through the work-stealing cell scheduler:
@@ -111,5 +121,16 @@ fn main() {
                 );
             }
         }
+    }
+
+    // Final registry scrape: everything the run recorded (suite
+    // precompute, fleet scheduling, trace cache, I/O faults) in one
+    // deterministic text exposition + JSON twin.
+    if let Some(path) = flag_value(&args, "--registry-out") {
+        exposition::write_registry(telemetry::registry(), &path).unwrap_or_else(|e| {
+            log::error("all", &format!("registry export to {path} failed: {e}"));
+            std::process::exit(1);
+        });
+        log::info("all", &format!("wrote {path} (+ {path}.json)"));
     }
 }

@@ -46,6 +46,15 @@
 //!     `serve --metrics-out` / `perf`: declared families, histogram
 //!     bucket invariants, optionally required families, and counter
 //!     monotonicity against an earlier scrape — then exit
+//! cargo run --release -p grp-bench --bin check -- --chaos \
+//!     [--seed S] [--chaos-rounds N] [--chaos-dir <dir>] \
+//!     [--inject torn-rename]
+//!     crash-only gate: drives the real serve binary through seeded
+//!     I/O-fault storms, mid-batch disconnects, and a kill -9 during a
+//!     cache write, then restarts it — asserting no torn artifact,
+//!     monotone counters, and bit-identical re-issued replies (see
+//!     [`grp_bench::chaos`]); `--inject torn-rename` plants deliberate
+//!     torn publishes so CI can prove the gate still has teeth
 //! ```
 //!
 //! `--packed` prepends **phase 0**: every registry kernel × every
@@ -319,6 +328,45 @@ fn main() {
             Ok(summary) => println!("{path}: OK ({summary})"),
             Err(e) => {
                 log::error("check", &format!("{path}: {e}"));
+                std::process::exit(1);
+            }
+        }
+        return;
+    }
+
+    if strict_flag(&args, "--chaos").unwrap_or_else(|e| usage_err(e)) {
+        let seed = strict_u64(&args, "--seed", "a 64-bit seed")
+            .unwrap_or_else(|e| usage_err(e))
+            .unwrap_or(0x5eed_c4a0_5000_0000);
+        let rounds = strict_u64(&args, "--chaos-rounds", "a storm round count")
+            .unwrap_or_else(|e| usage_err(e))
+            .unwrap_or(2)
+            .max(1);
+        let torn_rename = match strict_value(&args, "--inject", "none, torn-rename")
+            .unwrap_or_else(|e| usage_err(e))
+            .as_deref()
+        {
+            None | Some("none") => false,
+            Some("torn-rename") => true,
+            Some(s) => {
+                usage_err(format!("unknown chaos injection '{s}' (valid: none, torn-rename)"))
+            }
+        };
+        let dir = strict_value(&args, "--chaos-dir", "a scratch directory")
+            .unwrap_or_else(|e| usage_err(e))
+            .map(std::path::PathBuf::from)
+            .unwrap_or_else(|| {
+                std::env::temp_dir().join(format!("grp-chaos-{}", std::process::id()))
+            });
+        let serve_bin = std::env::current_exe()
+            .ok()
+            .and_then(|p| p.parent().map(|d| d.join("serve")))
+            .unwrap_or_else(|| usage_err("cannot locate this binary's directory".to_string()));
+        let opts = grp_bench::chaos::ChaosOpts { serve_bin, dir, seed, rounds, torn_rename };
+        match grp_bench::chaos::run_chaos(&opts) {
+            Ok(summary) => println!("chaos: OK ({summary})"),
+            Err(e) => {
+                log::error("check", &format!("chaos gate failed: {e}"));
                 std::process::exit(1);
             }
         }

@@ -28,7 +28,19 @@
 //!     [--label <name>]      entry label for --perf-out (default "serve")
 //!     [--metrics-out <path>] write the metrics registry as Prometheus
 //!                           text (+ `<path>.json` twin) after each
-//!                           client session (sockets) / at shutdown
+//!                           client session (sockets) / at shutdown;
+//!                           on startup an existing `<path>.json` seeds
+//!                           the registry so scrapes stay monotone
+//!                           across a restart
+//!     [--request-deadline-ms <N>] wall-clock deadline per job, stamped
+//!                           at admission: a job still queued when it
+//!                           expires gets a named `deadline_exceeded`
+//!                           error reply instead of running (composes
+//!                           with the in-sim --max-cycles watchdog)
+//!     [--max-inflight <N>]  bounded admission: at most N jobs batched
+//!                           per session; excess jobs are shed with a
+//!                           named `overloaded` error reply (default:
+//!                           workers x 8)
 //!     [--log-level <lvl>]   error|warn|info|debug|trace (or GRP_LOG)
 //! cargo run -p grp-bench --bin serve -- --check-replies <path>
 //!     validate a saved reply stream (shape + ok status) and exit
@@ -36,17 +48,29 @@
 //!
 //! Request lines: `{"kernel":…,"scheme":…}` jobs batched until a blank
 //! line, plus the in-band `{"stats":true}` probe answered immediately
-//! with a snapshot of the session's metrics registry — see the
-//! [`grp_bench::serve`] module docs for the full protocol.
+//! with a snapshot of the session's metrics registry and the
+//! `{"drain":true}` probe that flushes everything in flight,
+//! acknowledges, and exits 0 — see the [`grp_bench::serve`] module docs
+//! for the full protocol.
+//!
+//! Startup is the recovery path (crash-only): before serving, the
+//! process sweeps orphaned staging files and stale locks next to every
+//! artifact it will write, and quarantines invalid trace-cache entries
+//! — so a kill -9 at any instant costs at most one in-flight write,
+//! never a torn artifact.
 
 use std::io::BufReader;
+use std::path::Path;
+use std::time::Duration;
 
-use grp_bench::args::{jobs_from_args, parse_replay_args, strict_flag};
+use grp_bench::args::{jobs_from_args, parse_replay_args, strict_flag, strict_u64};
 use grp_bench::obs_export::flag_value;
-use grp_bench::serve::{check_replies, AcceptBackoff, Server, ServerOpts};
+use grp_bench::serve::{
+    check_replies, seed_counters_from_json, AcceptBackoff, Server, ServerOpts, SessionEnd,
+};
 use grp_bench::suite::scale_from_args;
 use grp_bench::telemetry::log::{self, Level};
-use grp_bench::{telemetry, traj};
+use grp_bench::{artifact, telemetry, traj};
 use grp_core::{Scheme, SimConfig};
 
 fn main() {
@@ -78,7 +102,67 @@ fn main() {
     let perf_out = flag_value(&args, "--perf-out");
     let metrics_out = flag_value(&args, "--metrics-out");
     let label = flag_value(&args, "--label").unwrap_or_else(|| "serve".to_string());
+    let deadline_ms = strict_u64(&args, "--request-deadline-ms", "milliseconds, e.g. 5000")
+        .unwrap_or_else(|e| fail(e));
+    let max_inflight = strict_u64(&args, "--max-inflight", "a positive job count")
+        .unwrap_or_else(|e| fail(e));
+    if max_inflight == Some(0) {
+        fail("--max-inflight must be at least 1".to_string());
+    }
     let mode = parse_replay_args(&args).unwrap_or_else(|e| fail(e));
+
+    // Crash-only startup: recovery is the normal path, not an error
+    // path. Sweep staging orphans and stale locks (dead owners only)
+    // next to every artifact this process will write, and quarantine
+    // trace-cache entries that no longer validate.
+    let mut recovered = artifact::RecoveryReport::default();
+    let mut quarantined = 0usize;
+    for out in [perf_out.as_deref(), metrics_out.as_deref()].into_iter().flatten() {
+        let parent = Path::new(out).parent().filter(|p| !p.as_os_str().is_empty());
+        let dir = parent.unwrap_or_else(|| Path::new("."));
+        match artifact::recover_dir(dir, Duration::ZERO) {
+            Ok(r) => recovered.absorb(r),
+            Err(e) => {
+                log::warn("serve", &format!("recovery scan of {} failed: {e}", dir.display()))
+            }
+        }
+    }
+    if let Some(cache) = &mode.trace_cache {
+        match cache.recover(Duration::ZERO) {
+            Ok((r, q)) => {
+                recovered.absorb(r);
+                quarantined += q;
+            }
+            Err(e) => log::warn("serve", &format!("trace-cache recovery failed: {e}")),
+        }
+    }
+    log::log_kv(
+        Level::Info,
+        "serve",
+        "startup recovery scan complete",
+        &[
+            ("swept_tmp", (recovered.swept_tmp as u64).into()),
+            ("swept_lock", (recovered.swept_lock as u64).into()),
+            ("quarantined", (quarantined as u64).into()),
+        ],
+    );
+
+    // The process-global registry, so trace-cache counters (which
+    // record globally) appear in the same scrape.
+    let registry = telemetry::registry().clone();
+    // Restart carryover: seed counters from the previous process's
+    // last scrape so the series stays monotone across a crash.
+    if let Some(path) = &metrics_out {
+        let twin = format!("{path}.json");
+        if Path::new(&twin).exists() {
+            match seed_counters_from_json(&registry, &twin) {
+                Ok(n) => log::info("serve", &format!("carried {n} counters over from {twin}")),
+                Err(e) => {
+                    log::warn("serve", &format!("metrics carryover from {twin} skipped: {e}"))
+                }
+            }
+        }
+    }
 
     let mut server = Server::new(ServerOpts {
         workers,
@@ -86,9 +170,9 @@ fn main() {
         cfg: SimConfig::paper(),
         mode,
         selfcheck,
-        // The process-global registry, so trace-cache counters (which
-        // record globally) appear in the same scrape.
-        registry: telemetry::registry().clone(),
+        registry,
+        request_deadline: deadline_ms.map(Duration::from_millis),
+        max_inflight: max_inflight.map(|n| n as usize),
     });
     let export = |server: &Server| {
         if let Some(path) = &metrics_out {
@@ -102,7 +186,10 @@ fn main() {
         None => {
             let stdin = std::io::stdin();
             let stdout = std::io::stdout();
-            server.session(stdin.lock(), &mut stdout.lock());
+            // EOF, drain, and client-gone all end the lone stdin
+            // session; the shared shutdown tail below flushes
+            // everything through the atomic layer either way.
+            let _ = server.session(stdin.lock(), &mut stdout.lock());
             export(&server);
         }
         Some(path) => {
@@ -140,13 +227,10 @@ fn main() {
                             continue;
                         }
                         None => {
-                            log::error(
-                                "serve",
-                                &format!(
-                                    "accept failed {} times in a row (last: {e}); giving up",
-                                    AcceptBackoff::MAX_FAILURES + 1
-                                ),
-                            );
+                            // The terminal give-up leaves a structured
+                            // last word (count + errno), then falls
+                            // through to the shared shutdown tail.
+                            backoff.log_terminal(&e);
                             break;
                         }
                     },
@@ -159,8 +243,12 @@ fn main() {
                     }
                 });
                 let mut writer = stream;
-                server.session(reader, &mut writer);
+                let end = server.session(reader, &mut writer);
                 export(&server);
+                if end == SessionEnd::Drain {
+                    log::info("serve", "drain requested; flushed and exiting");
+                    break;
+                }
                 if once {
                     break;
                 }

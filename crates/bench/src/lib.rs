@@ -13,8 +13,10 @@
 
 pub mod args;
 pub mod artifact;
+pub mod chaos;
 pub mod experiments;
 pub mod fuzz;
+pub mod iofault;
 pub mod json;
 pub mod obs_export;
 pub mod report;

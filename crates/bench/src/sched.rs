@@ -29,7 +29,7 @@
 
 use std::collections::{HashMap, VecDeque};
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{mpsc, Arc, Mutex, OnceLock};
 use std::time::Instant;
 
@@ -92,6 +92,47 @@ pub struct CellJob {
     pub scale: Scale,
     /// Platform configuration for the timing simulation.
     pub cfg: SimConfig,
+    /// Wall-clock deadline: a cell whose deadline has passed **at
+    /// pickup** is failed with a [`DEADLINE_EXCEEDED`]-prefixed error
+    /// instead of running (a cell already executing runs to completion
+    /// — the in-simulation `--max-cycles` watchdog bounds that side).
+    /// `None` (the default) never expires.
+    pub deadline: Option<Instant>,
+}
+
+/// Error prefix for a cell whose [`CellJob::deadline`] passed before
+/// pickup. The serve layer surfaces it verbatim as the named
+/// `deadline_exceeded` reply.
+pub const DEADLINE_EXCEEDED: &str = "deadline_exceeded";
+
+/// Error text for a cell skipped because its batch was cancelled
+/// (client disconnected mid-batch).
+pub const CANCELLED: &str = "cancelled: client disconnected before this cell ran";
+
+/// Shared cancel flag for one batch of cells: flipping it makes every
+/// not-yet-picked-up cell in the batch fail with [`CANCELLED`] instead
+/// of running, so a dead client stops costing simulation time without
+/// killing the session or other connections.
+#[derive(Debug, Default)]
+pub struct BatchCtl {
+    cancelled: AtomicBool,
+}
+
+impl BatchCtl {
+    /// A fresh, un-cancelled control.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Cancels the remaining (unstarted) cells of the batch.
+    pub fn cancel(&self) {
+        self.cancelled.store(true, Ordering::Relaxed);
+    }
+
+    /// True once [`BatchCtl::cancel`] has been called.
+    pub fn is_cancelled(&self) -> bool {
+        self.cancelled.load(Ordering::Relaxed)
+    }
 }
 
 /// A completed cell, streamed to `on_complete` in completion order.
@@ -308,6 +349,7 @@ pub fn grid_jobs(
                 scheme,
                 scale,
                 cfg,
+                deadline: None,
             });
         }
     }
@@ -338,6 +380,24 @@ pub fn run_cells_mode<F: FnMut(CellResult)>(
     workers: usize,
     cache: &WorkloadCache,
     mode: &ReplayMode,
+    on_complete: F,
+) -> FleetStats {
+    run_cells_ctl(jobs, workers, cache, mode, None, on_complete)
+}
+
+/// [`run_cells_mode`] with an optional per-batch [`BatchCtl`]: at cell
+/// pickup a cancelled batch fails the cell with [`CANCELLED`] and an
+/// expired [`CellJob::deadline`] fails it with a
+/// [`DEADLINE_EXCEEDED`]-prefixed error — in both cases the cell is
+/// skipped (never simulated) but still streamed to `on_complete`, so
+/// every job gets exactly one reply and a batch can never hang or lose
+/// a cell.
+pub fn run_cells_ctl<F: FnMut(CellResult)>(
+    jobs: &[CellJob],
+    workers: usize,
+    cache: &WorkloadCache,
+    mode: &ReplayMode,
+    ctl: Option<&BatchCtl>,
     mut on_complete: F,
 ) -> FleetStats {
     let workers = workers.max(1).min(jobs.len().max(1));
@@ -407,8 +467,26 @@ pub fn run_cells_mode<F: FnMut(CellResult)>(
                 let Some(job) = job else { return };
                 let queue_micros = start.elapsed().as_micros() as u64;
                 let t0 = Instant::now();
+                // Pickup gate: a cancelled batch or an expired deadline
+                // skips the simulation but still produces a named-error
+                // result, so the caller sees every cell exactly once.
                 let (outcome, events, setup_seconds, replay_seconds) =
-                    execute_cell(&job, cache_ref, mode);
+                    if ctl.is_some_and(|c| c.is_cancelled()) {
+                        (Err(CANCELLED.to_string()), 0, 0.0, 0.0)
+                    } else if job.deadline.is_some_and(|d| Instant::now() >= d) {
+                        (
+                            Err(format!(
+                                "{DEADLINE_EXCEEDED}: wall-clock deadline passed before cell \
+                                 {}/{} started",
+                                job.kernel, job.scheme
+                            )),
+                            0,
+                            0.0,
+                            0.0,
+                        )
+                    } else {
+                        execute_cell(&job, cache_ref, mode)
+                    };
                 let busy_secs = t0.elapsed().as_secs_f64();
                 {
                     let mut b = busy[me].lock().expect("busy");
@@ -673,9 +751,30 @@ mod tests {
     fn run_cells_streams_every_cell_and_isolates_errors() {
         let cfg = SimConfig::paper();
         let jobs = vec![
-            CellJob { id: 7, kernel: "twolf", scheme: Scheme::NoPrefetch, scale: Scale::Test, cfg },
-            CellJob { id: 8, kernel: "not-a-kernel", scheme: Scheme::Srp, scale: Scale::Test, cfg },
-            CellJob { id: 9, kernel: "twolf", scheme: Scheme::Srp, scale: Scale::Test, cfg },
+            CellJob {
+                id: 7,
+                kernel: "twolf",
+                scheme: Scheme::NoPrefetch,
+                scale: Scale::Test,
+                cfg,
+                deadline: None,
+            },
+            CellJob {
+                id: 8,
+                kernel: "not-a-kernel",
+                scheme: Scheme::Srp,
+                scale: Scale::Test,
+                cfg,
+                deadline: None,
+            },
+            CellJob {
+                id: 9,
+                kernel: "twolf",
+                scheme: Scheme::Srp,
+                scale: Scale::Test,
+                cfg,
+                deadline: None,
+            },
         ];
         let cache = WorkloadCache::new();
         let mut seen = Vec::new();
@@ -732,6 +831,56 @@ mod tests {
             "a warm trace cache must skip workload builds entirely"
         );
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn expired_deadlines_yield_named_errors_never_lost_replies() {
+        let cfg = SimConfig::paper();
+        // Deterministic: every deadline is already in the past, so every
+        // cell must come back as a deadline_exceeded error — exactly one
+        // reply per job, none simulated, none hung.
+        let past = Instant::now();
+        let mut jobs = grid_jobs(&["twolf", "crafty"], &[Scheme::NoPrefetch, Scheme::Srp], Scale::Test, cfg);
+        for j in &mut jobs {
+            j.deadline = Some(past);
+        }
+        let cache = WorkloadCache::new();
+        let mut seen = Vec::new();
+        let stats = run_cells_ctl(&jobs, 2, &cache, &ReplayMode::default(), None, |r| {
+            seen.push(r)
+        });
+        assert_eq!(stats.cells, jobs.len(), "every job answered");
+        assert_eq!(stats.errors, jobs.len());
+        for r in &seen {
+            let err = r.outcome.as_ref().unwrap_err();
+            assert!(err.starts_with(DEADLINE_EXCEEDED), "{err}");
+            assert!(err.contains(r.kernel), "error names the cell: {err}");
+        }
+        assert_eq!(cache.built_count(), 0, "expired cells never build");
+        // A generous deadline changes nothing about the results.
+        for j in &mut jobs {
+            j.deadline = Some(Instant::now() + std::time::Duration::from_secs(3600));
+        }
+        let stats = run_cells_ctl(&jobs, 2, &cache, &ReplayMode::default(), None, |_| {});
+        assert_eq!(stats.errors, 0, "live deadlines run normally");
+    }
+
+    #[test]
+    fn cancelled_batch_fails_remaining_cells_without_running_them() {
+        let cfg = SimConfig::paper();
+        let jobs = grid_jobs(&["twolf"], &[Scheme::NoPrefetch, Scheme::Srp], Scale::Test, cfg);
+        let cache = WorkloadCache::new();
+        let ctl = BatchCtl::new();
+        ctl.cancel(); // cancelled before any pickup: all cells skip
+        let mut seen = Vec::new();
+        let stats =
+            run_cells_ctl(&jobs, 2, &cache, &ReplayMode::default(), Some(&ctl), |r| seen.push(r));
+        assert_eq!(stats.cells, jobs.len(), "cancelled cells still reply");
+        assert_eq!(stats.errors, jobs.len());
+        for r in &seen {
+            assert_eq!(r.outcome.as_ref().unwrap_err(), CANCELLED);
+        }
+        assert_eq!(cache.built_count(), 0, "cancelled cells never build");
     }
 
     #[test]

@@ -33,13 +33,13 @@
 
 use std::io::{BufRead, Write};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use grp_core::{Scheme, SimConfig};
 use grp_workloads::Scale;
 
 use crate::json::{run_result_json, Json};
-use crate::sched::{self, CellJob, CellResult, FleetStats, ReplayMode, WorkloadCache};
+use crate::sched::{self, BatchCtl, CellJob, CellResult, FleetStats, ReplayMode, WorkloadCache};
 use crate::suite::SuiteScale;
 use crate::telemetry::exposition;
 use crate::telemetry::log::{self, Level};
@@ -63,6 +63,41 @@ pub struct ServerOpts {
     /// The metrics registry this server records into (the binary
     /// passes the process-global one; tests pass a fresh one).
     pub registry: Arc<Registry>,
+    /// Per-request wall-clock deadline (`--request-deadline-ms`),
+    /// stamped at admission: a job still queued when it expires yields
+    /// a named `deadline_exceeded` error reply instead of running.
+    /// `None` never expires. Composes with the in-simulation
+    /// `--max-cycles` watchdog (which bounds a cell already running).
+    pub request_deadline: Option<Duration>,
+    /// Bounded admission (`--max-inflight`): at most this many
+    /// not-yet-flushed jobs per session; excess jobs are shed with a
+    /// named `overloaded` error reply instead of queueing unboundedly.
+    /// `None` sizes the bound from the worker count (workers × 8).
+    pub max_inflight: Option<usize>,
+}
+
+impl ServerOpts {
+    /// The effective admission bound ([`ServerOpts::max_inflight`] or
+    /// the worker-derived default).
+    pub fn effective_max_inflight(workers: usize, max_inflight: Option<usize>) -> usize {
+        max_inflight.unwrap_or_else(|| workers.max(1) * 8).max(1)
+    }
+}
+
+/// Why a [`Server::session`] ended — the binary's exit policy hinges
+/// on which.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SessionEnd {
+    /// The request stream reached EOF (stdin closed / socket closed).
+    Eof,
+    /// The client sent the in-band `{"drain":true}` probe: the session
+    /// flushed everything in flight and acknowledged; the process
+    /// should export artifacts and exit 0.
+    Drain,
+    /// The client vanished mid-reply (broken pipe): the batch's
+    /// remaining cells were cancelled; the session is over but the
+    /// process (and other connections) live on.
+    ClientGone,
 }
 
 /// The replay server: batching, scheduling, replies, telemetry.
@@ -76,6 +111,8 @@ pub struct Server {
     selfcheck: bool,
     registry: Arc<Registry>,
     shard: Arc<Shard>,
+    request_deadline: Option<Duration>,
+    max_inflight: usize,
     batches: u64,
     /// Session-lifetime aggregate for `--perf-out` (fleet entry shape).
     totals: Option<FleetStats>,
@@ -94,6 +131,13 @@ pub enum Request {
         /// Echoed reply id.
         id: u64,
     },
+    /// An in-band graceful-drain probe (`{"drain":true}`): flush the
+    /// pending batch, acknowledge, end the session as
+    /// [`SessionEnd::Drain`].
+    Drain {
+        /// Echoed reply id.
+        id: u64,
+    },
 }
 
 impl Server {
@@ -101,6 +145,7 @@ impl Server {
     pub fn new(opts: ServerOpts) -> Self {
         let shard = opts.registry.shard();
         let mode = opts.mode.with_telemetry(opts.registry.clone());
+        let max_inflight = ServerOpts::effective_max_inflight(opts.workers, opts.max_inflight);
         Server {
             workers: opts.workers,
             default_scale: opts.default_scale,
@@ -110,6 +155,8 @@ impl Server {
             selfcheck: opts.selfcheck,
             registry: opts.registry,
             shard,
+            request_deadline: opts.request_deadline,
+            max_inflight,
             batches: 0,
             totals: None,
             rows: Vec::new(),
@@ -143,9 +190,12 @@ impl Server {
         self.default_scale
     }
 
-    /// Reads one client's request stream to EOF, flushing a batch at
-    /// every blank line and answering stats probes inline.
-    pub fn session<R: BufRead, W: Write>(&mut self, reader: R, out: &mut W) {
+    /// Reads one client's request stream, flushing a batch at every
+    /// blank line and answering stats probes inline, until EOF, an
+    /// in-band drain probe, or the client disappears. A broken pipe
+    /// cancels the current batch's remaining cells and ends only this
+    /// session — the server object (and any other connection) lives on.
+    pub fn session<R: BufRead, W: Write>(&mut self, reader: R, out: &mut W) -> SessionEnd {
         let session_id = log::next_id();
         self.shard.counter("grp_serve_sessions_total", &[]).inc();
         log::log_kv(
@@ -156,6 +206,7 @@ impl Server {
         );
         let mut batch: Vec<Result<CellJob, (u64, String)>> = Vec::new();
         let mut lineno = 0u64;
+        let mut end: Option<SessionEnd> = None;
         for line in reader.lines() {
             let line = match line {
                 Ok(l) => l,
@@ -166,17 +217,42 @@ impl Server {
                         "read failed; closing session",
                         &[("session", session_id.into()), ("error", e.to_string().into())],
                     );
+                    end = Some(SessionEnd::ClientGone);
                     break;
                 }
             };
             lineno += 1;
             if line.trim().is_empty() {
-                self.flush_batch(&mut batch, out);
+                if !self.flush_batch(&mut batch, out) {
+                    end = Some(SessionEnd::ClientGone);
+                    break;
+                }
                 continue;
             }
             self.shard.counter("grp_serve_requests_total", &[]).inc();
             match parse_request(&line, lineno, self.default_scale) {
-                Ok(Request::Job(job)) => batch.push(Ok(job)),
+                Ok(Request::Job(mut job)) => {
+                    let pending = batch.iter().filter(|r| r.is_ok()).count();
+                    if pending >= self.max_inflight {
+                        // Bounded admission: shed with a named reply
+                        // instead of queueing unboundedly.
+                        self.shard.counter("grp_serve_shed_total", &[]).inc();
+                        batch.push(Err((
+                            job.id,
+                            format!(
+                                "overloaded: batch already holds {} jobs (--max-inflight); request shed",
+                                self.max_inflight
+                            ),
+                        )));
+                    } else {
+                        // The deadline clock starts at admission, so
+                        // queueing time counts against it.
+                        if let Some(d) = self.request_deadline {
+                            job.deadline = Some(Instant::now() + d);
+                        }
+                        batch.push(Ok(job));
+                    }
+                }
                 Ok(Request::Stats { id }) => {
                     self.shard.counter("grp_serve_stats_requests_total", &[]).inc();
                     // Count the reply before snapshotting so the probe
@@ -184,8 +260,41 @@ impl Server {
                     // in the snapshot it carries.
                     self.shard.counter("grp_serve_replies_total", &[("ok", "true")]).inc();
                     let reply = self.stats_reply(id);
-                    writeln!(out, "{}", reply.render()).expect("write reply");
-                    out.flush().expect("flush reply");
+                    if let Err(e) = writeln!(out, "{}", reply.render()).and_then(|()| out.flush())
+                    {
+                        self.note_client_gone(&e);
+                        end = Some(SessionEnd::ClientGone);
+                        break;
+                    }
+                }
+                Ok(Request::Drain { id }) => {
+                    self.shard.counter("grp_serve_drain_requests_total", &[]).inc();
+                    // Finish everything already admitted before
+                    // acknowledging — the ack promises nothing is lost.
+                    if !self.flush_batch(&mut batch, out) {
+                        end = Some(SessionEnd::ClientGone);
+                        break;
+                    }
+                    let reply = Json::object()
+                        .set("id", id)
+                        .set("ok", true)
+                        .set("drain", true)
+                        .set("batches", self.batches);
+                    end = Some(
+                        match writeln!(out, "{}", reply.render()).and_then(|()| out.flush()) {
+                            Ok(()) => {
+                                self.shard
+                                    .counter("grp_serve_replies_total", &[("ok", "true")])
+                                    .inc();
+                                SessionEnd::Drain
+                            }
+                            Err(e) => {
+                                self.note_client_gone(&e);
+                                SessionEnd::ClientGone
+                            }
+                        },
+                    );
+                    break;
                 }
                 Err((id, e)) => {
                     self.shard.counter("grp_serve_request_errors_total", &[]).inc();
@@ -193,13 +302,27 @@ impl Server {
                 }
             }
         }
-        self.flush_batch(&mut batch, out);
+        let end = match end {
+            Some(e) => e,
+            None => {
+                if self.flush_batch(&mut batch, out) {
+                    SessionEnd::Eof
+                } else {
+                    SessionEnd::ClientGone
+                }
+            }
+        };
         log::log_kv(
             Level::Info,
             "serve",
             "session ended",
-            &[("session", session_id.into()), ("lines", lineno.into())],
+            &[
+                ("session", session_id.into()),
+                ("lines", lineno.into()),
+                ("end", format!("{end:?}").into()),
+            ],
         );
+        end
     }
 
     /// The reply for one in-band stats probe: a full registry snapshot
@@ -212,23 +335,43 @@ impl Server {
             .set("stats", exposition::snapshot_json(&snap, None))
     }
 
-    fn write_reply<W: Write>(&self, out: &mut W, ok: bool, reply: Json) {
+    /// Writes one reply line; `false` means the client is gone (the
+    /// write or flush failed) and the caller must stop writing.
+    fn write_reply<W: Write>(&self, out: &mut W, ok: bool, reply: Json) -> bool {
+        if let Err(e) = writeln!(out, "{}", reply.render()).and_then(|()| out.flush()) {
+            self.note_client_gone(&e);
+            return false;
+        }
         self.shard
             .counter("grp_serve_replies_total", &[("ok", if ok { "true" } else { "false" })])
             .inc();
-        writeln!(out, "{}", reply.render()).expect("write reply");
-        out.flush().expect("flush reply");
+        true
+    }
+
+    /// Records one client disappearance (broken pipe mid-reply).
+    fn note_client_gone(&self, e: &std::io::Error) {
+        self.shard.counter("grp_serve_client_disconnects_total", &[]).inc();
+        log::log_kv(
+            Level::Warn,
+            "serve",
+            "client disconnected mid-reply; dropping this batch's remaining work",
+            &[("error", e.to_string().into())],
+        );
     }
 
     /// Schedules the accumulated batch across the fleet and writes one
-    /// reply line per job as its cell completes.
+    /// reply line per job as its cell completes. Returns `false` when
+    /// the client disappeared mid-batch: the batch's not-yet-started
+    /// cells are cancelled (named [`sched::CANCELLED`] errors, never
+    /// run) and further writes are suppressed — the session ends, the
+    /// process does not.
     fn flush_batch<W: Write>(
         &mut self,
         batch: &mut Vec<Result<CellJob, (u64, String)>>,
         out: &mut W,
-    ) {
+    ) -> bool {
         if batch.is_empty() {
-            return;
+            return true;
         }
         let mut jobs: Vec<CellJob> = Vec::new();
         for req in batch.drain(..) {
@@ -236,47 +379,81 @@ impl Server {
                 Ok(job) => jobs.push(job),
                 Err((id, e)) => {
                     let reply = Json::object().set("id", id).set("ok", false).set("error", e);
-                    self.write_reply(out, false, reply);
+                    if !self.write_reply(out, false, reply) {
+                        // Client gone before the batch even started:
+                        // the admitted jobs are dropped, not run.
+                        return false;
+                    }
                 }
             }
         }
         if jobs.is_empty() {
-            return;
+            return true;
         }
         self.batches += 1;
         self.shard.counter("grp_serve_batches_total", &[]).inc();
         let mut completed: Vec<CellResult> = Vec::new();
+        let ctl = BatchCtl::new();
+        let gone = std::cell::Cell::new(false);
         // Workers record into their own registry shards inside
-        // run_cells_mode (mode.telemetry is this server's registry);
+        // run_cells_ctl (mode.telemetry is this server's registry);
         // only serve-protocol counters go through self.shard here.
         let shard = self.shard.clone();
-        let stats = sched::run_cells_mode(&jobs, self.workers, &self.cache, &self.mode, |cell| {
-            let (ok, reply) = match &cell.outcome {
-                Ok(r) => (
-                    true,
-                    Json::object()
-                        .set("id", cell.id)
-                        .set("ok", true)
-                        .set("bench", cell.kernel)
-                        .set("scheme", cell.scheme.label())
-                        .set("scale", scale_label(cell.scale))
-                        .set("worker", cell.worker as u64)
-                        .set("events", cell.events)
-                        .set("replay_seconds", cell.replay_seconds)
-                        .set("result", run_result_json(r, None)),
-                ),
-                Err(e) => (
-                    false,
-                    Json::object().set("id", cell.id).set("ok", false).set("error", e.as_str()),
-                ),
-            };
-            shard
-                .counter("grp_serve_replies_total", &[("ok", if ok { "true" } else { "false" })])
-                .inc();
-            writeln!(out, "{}", reply.render()).expect("write reply");
-            out.flush().expect("flush reply");
-            completed.push(cell);
-        });
+        let stats = sched::run_cells_ctl(
+            &jobs,
+            self.workers,
+            &self.cache,
+            &self.mode,
+            Some(&ctl),
+            |cell| {
+                if !gone.get() {
+                    let (ok, reply) = match &cell.outcome {
+                        Ok(r) => (
+                            true,
+                            Json::object()
+                                .set("id", cell.id)
+                                .set("ok", true)
+                                .set("bench", cell.kernel)
+                                .set("scheme", cell.scheme.label())
+                                .set("scale", scale_label(cell.scale))
+                                .set("worker", cell.worker as u64)
+                                .set("events", cell.events)
+                                .set("replay_seconds", cell.replay_seconds)
+                                .set("result", run_result_json(r, None)),
+                        ),
+                        Err(e) => (
+                            false,
+                            Json::object()
+                                .set("id", cell.id)
+                                .set("ok", false)
+                                .set("error", e.as_str()),
+                        ),
+                    };
+                    match writeln!(out, "{}", reply.render()).and_then(|()| out.flush()) {
+                        Ok(()) => {
+                            shard
+                                .counter(
+                                    "grp_serve_replies_total",
+                                    &[("ok", if ok { "true" } else { "false" })],
+                                )
+                                .inc();
+                        }
+                        Err(e) => {
+                            gone.set(true);
+                            ctl.cancel();
+                            shard.counter("grp_serve_client_disconnects_total", &[]).inc();
+                            log::log_kv(
+                                Level::Warn,
+                                "serve",
+                                "client disconnected mid-batch; cancelling remaining cells",
+                                &[("error", e.to_string().into())],
+                            );
+                        }
+                    }
+                }
+                completed.push(cell);
+            },
+        );
         self.shard
             .hist("grp_serve_batch_wall_micros", &[])
             .record((stats.wall_seconds * 1e6) as u64);
@@ -318,6 +495,7 @@ impl Server {
         if self.selfcheck {
             self.selfcheck_batch(&completed);
         }
+        !gone.get()
     }
 
     /// Folds one batch's fleet stats into the session totals.
@@ -376,22 +554,47 @@ impl Server {
 
     /// Writes the registry as Prometheus-style text to `path` and as
     /// JSON (with the explicitly wall-clock `scraped_at_unix_micros`
-    /// field) to `<path>.json`, both atomically.
+    /// field) to `<path>.json`, both atomically — see
+    /// [`exposition::write_registry`], which this delegates to.
     ///
     /// # Errors
     ///
     /// Any staged-write I/O error; metrics export is best-effort, so
     /// callers typically warn and continue.
     pub fn write_metrics(&self, path: &str) -> std::io::Result<()> {
-        let snap = self.registry.snapshot();
-        crate::artifact::atomic_write(path, exposition::render_text(&snap))?;
-        let scraped_at = std::time::SystemTime::now()
-            .duration_since(std::time::UNIX_EPOCH)
-            .map(|d| d.as_micros() as u64)
-            .unwrap_or(0);
-        let doc = exposition::snapshot_json(&snap, Some(scraped_at));
-        crate::artifact::atomic_write(format!("{path}.json"), doc.render())
+        exposition::write_registry(&self.registry, path)
     }
+}
+
+/// Seeds `registry` with the counter values from a previous scrape's
+/// JSON twin (`--metrics-out <path>.json`), so counters stay monotone
+/// across a process restart: the new process's scrapes start where the
+/// dead one's ended instead of snapping back to zero. Returns how many
+/// counters were carried over.
+///
+/// # Errors
+///
+/// The file is unreadable, unparsable, or has no `counters` object —
+/// callers warn and start from zero (losing monotonicity, not data).
+pub fn seed_counters_from_json(registry: &Registry, path: &str) -> Result<usize, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read: {e}"))?;
+    let doc = Json::parse(&text).map_err(|e| format!("malformed: {e}"))?;
+    let counters = doc
+        .get("counters")
+        .ok_or_else(|| "no 'counters' object".to_string())?;
+    let entries = counters
+        .entries()
+        .ok_or_else(|| "'counters' is not an object".to_string())?;
+    let shard = registry.shard();
+    let mut n = 0usize;
+    for (id, value) in entries {
+        let Some(v) = value.as_u64() else { continue };
+        if v > 0 {
+            shard.counter_id(id).add(v);
+            n += 1;
+        }
+    }
+    Ok(n)
 }
 
 /// Bounded exponential backoff for socket accept failures: 10ms
@@ -427,6 +630,35 @@ impl AcceptBackoff {
     /// Registers a successful accept, resetting the schedule.
     pub fn on_success(&mut self) {
         self.consecutive = 0;
+    }
+
+    /// Consecutive failures registered so far (including the terminal
+    /// one), for the give-up log line.
+    pub fn failures(&self) -> u32 {
+        self.consecutive
+    }
+
+    /// Emits the terminal give-up line through the structured logger —
+    /// level `error`, naming the failure count and the last OS error —
+    /// so a dying listener leaves a machine-readable last word instead
+    /// of a silent exit.
+    pub fn log_terminal(&self, last_error: &std::io::Error) {
+        log::log_kv(
+            Level::Error,
+            "serve",
+            "accept failing terminally; giving up",
+            &[
+                ("failures", u64::from(self.consecutive).into()),
+                ("last_error", last_error.to_string().into()),
+                (
+                    "errno",
+                    last_error
+                        .raw_os_error()
+                        .map_or("none".to_string(), |e| e.to_string())
+                        .into(),
+                ),
+            ],
+        );
     }
 }
 
@@ -481,6 +713,29 @@ pub fn parse_request(
         }
         return Ok(Request::Stats { id });
     }
+    if doc.get("drain").is_some() {
+        for (key, value) in fields {
+            match key.as_str() {
+                "drain" => {
+                    if value.as_bool() != Some(true) {
+                        return Err((id, "'drain' must be true".to_string()));
+                    }
+                }
+                "id" => {
+                    value
+                        .as_u64()
+                        .ok_or((id, "'id' must be a non-negative integer".to_string()))?;
+                }
+                other => {
+                    return Err((
+                        id,
+                        format!("unknown drain-request field '{other}' (valid: drain, id)"),
+                    ))
+                }
+            }
+        }
+        return Ok(Request::Drain { id });
+    }
     let mut kernel: Option<&'static str> = None;
     let mut scheme: Option<Scheme> = None;
     let mut scale: Scale = default_scale.workload_scale();
@@ -529,7 +784,7 @@ pub fn parse_request(
                 return Err((
                     id,
                     format!(
-                        "unknown request field '{other}' (valid: id, kernel, scheme, scale, stats)"
+                        "unknown request field '{other}' (valid: id, kernel, scheme, scale, stats, drain)"
                     ),
                 ))
             }
@@ -541,13 +796,15 @@ pub fn parse_request(
         scheme: scheme.ok_or((id, "request missing 'scheme'".to_string()))?,
         scale,
         cfg: SimConfig::paper(),
+        // Stamped at admission when the server has a deadline policy.
+        deadline: None,
     }))
 }
 
 /// Validates a saved reply stream: every line parses, has a boolean
 /// `ok`, and successful replies carry the summary fields (stats
-/// replies carry their snapshot object instead). Any `ok: false` line
-/// is reported as a failure.
+/// replies carry their snapshot object instead; drain acks carry
+/// `drain: true`). Any `ok: false` line is reported as a failure.
 ///
 /// # Errors
 ///
@@ -578,6 +835,10 @@ pub fn check_replies(path: &str) -> Result<usize, String> {
             n += 1;
             continue;
         }
+        if doc.get("drain").and_then(|v| v.as_bool()) == Some(true) {
+            n += 1;
+            continue;
+        }
         for key in ["bench", "scheme", "scale"] {
             doc.get(key)
                 .and_then(|v| v.as_str())
@@ -604,6 +865,14 @@ mod tests {
     use super::*;
 
     fn test_server(workers: usize) -> Server {
+        test_server_opts(workers, None, None)
+    }
+
+    fn test_server_opts(
+        workers: usize,
+        request_deadline: Option<Duration>,
+        max_inflight: Option<usize>,
+    ) -> Server {
         Server::new(ServerOpts {
             workers,
             default_scale: SuiteScale::Test,
@@ -611,6 +880,8 @@ mod tests {
             mode: ReplayMode::default(),
             selfcheck: false,
             registry: Arc::new(Registry::new()),
+            request_deadline,
+            max_inflight,
         })
     }
 
@@ -622,6 +893,190 @@ mod tests {
             .lines()
             .map(|l| Json::parse(l).expect("reply parses"))
             .collect()
+    }
+
+    /// A writer that reports `BrokenPipe` once a byte budget is spent —
+    /// a client that hangs up mid-reply.
+    struct FailAfter {
+        written: Vec<u8>,
+        budget: usize,
+    }
+
+    impl Write for FailAfter {
+        fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            if self.written.len() + buf.len() > self.budget {
+                return Err(std::io::Error::new(std::io::ErrorKind::BrokenPipe, "peer closed"));
+            }
+            self.written.extend_from_slice(buf);
+            Ok(buf.len())
+        }
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+
+    fn reply_by_id(replies: &[Json], id: u64) -> &Json {
+        replies
+            .iter()
+            .find(|r| r.get("id").and_then(|v| v.as_u64()) == Some(id))
+            .unwrap_or_else(|| panic!("no reply with id {id}"))
+    }
+
+    fn reply_ok(reply: &Json) -> Option<bool> {
+        reply.get("ok").and_then(|v| v.as_bool())
+    }
+
+    #[test]
+    fn broken_pipe_mid_batch_cancels_without_killing_the_server() {
+        let mut server = test_server(2);
+        let input = concat!(
+            r#"{"kernel":"twolf","scheme":"SRP","id":1}"#, "\n",
+            r#"{"kernel":"gzip","scheme":"SRP","id":2}"#, "\n",
+            r#"{"kernel":"mcf","scheme":"SRP","id":3}"#, "\n",
+            "\n",
+        );
+        let mut out = FailAfter { written: Vec::new(), budget: 0 };
+        let end = server.session(std::io::Cursor::new(input.to_string()), &mut out);
+        assert_eq!(end, SessionEnd::ClientGone);
+        assert!(out.written.is_empty(), "nothing landed on the dead pipe");
+        let snap = server.registry().snapshot();
+        assert_eq!(snap.counter("grp_serve_client_disconnects_total"), 1);
+        // The server object survives the disconnect: a fresh session on
+        // the same server still answers.
+        let replies =
+            run_session(&mut server, "{\"kernel\":\"twolf\",\"scheme\":\"none\",\"id\":9}\n\n");
+        assert_eq!(replies.len(), 1);
+        assert_eq!(reply_ok(&replies[0]), Some(true));
+    }
+
+    #[test]
+    fn eof_mid_request_line_fails_only_that_request() {
+        let mut server = test_server(1);
+        // A valid job, then a half-written line with no trailing
+        // newline (the client died mid-send).
+        let input = concat!(
+            r#"{"kernel":"twolf","scheme":"none","id":1}"#, "\n",
+            r#"{"kernel":"gzip","scheme":"SR"#,
+        );
+        let replies = run_session(&mut server, input);
+        assert_eq!(replies.len(), 2, "both lines get a reply at EOF flush");
+        assert_eq!(reply_ok(reply_by_id(&replies, 1)), Some(true));
+        let half = reply_by_id(&replies, 2); // falls back to the line number
+        assert_eq!(reply_ok(half), Some(false));
+        let e = half.get("error").and_then(|v| v.as_str()).unwrap();
+        assert!(e.contains("malformed request"), "{e}");
+    }
+
+    #[test]
+    fn truncated_json_mid_batch_fails_only_that_request() {
+        let mut server = test_server(1);
+        let input = concat!(
+            r#"{"kernel":"twolf","scheme":"none","id":1}"#, "\n",
+            r#"{"kernel":"gzip","#, "\n",
+            r#"{"kernel":"mcf","scheme":"SRP","id":3}"#, "\n",
+            "\n",
+        );
+        let replies = run_session(&mut server, input);
+        assert_eq!(replies.len(), 3);
+        assert_eq!(reply_ok(reply_by_id(&replies, 1)), Some(true));
+        assert_eq!(reply_ok(reply_by_id(&replies, 3)), Some(true));
+        assert_eq!(reply_ok(reply_by_id(&replies, 2)), Some(false));
+    }
+
+    #[test]
+    fn expired_request_deadline_returns_named_error_reply() {
+        let mut server = test_server_opts(2, Some(Duration::ZERO), None);
+        let replies =
+            run_session(&mut server, "{\"kernel\":\"twolf\",\"scheme\":\"SRP\",\"id\":5}\n\n");
+        assert_eq!(replies.len(), 1, "an expired job still gets its reply");
+        assert_eq!(reply_ok(&replies[0]), Some(false));
+        let e = replies[0].get("error").and_then(|v| v.as_str()).unwrap();
+        assert!(e.starts_with(sched::DEADLINE_EXCEEDED), "{e}");
+    }
+
+    #[test]
+    fn overload_sheds_excess_jobs_with_named_replies() {
+        let mut server = test_server_opts(1, None, Some(1));
+        let input = concat!(
+            r#"{"kernel":"twolf","scheme":"none","id":1}"#, "\n",
+            r#"{"kernel":"twolf","scheme":"SRP","id":2}"#, "\n",
+            r#"{"kernel":"gzip","scheme":"SRP","id":3}"#, "\n",
+            "\n",
+        );
+        let replies = run_session(&mut server, input);
+        assert_eq!(replies.len(), 3, "shed jobs still get replies");
+        assert_eq!(reply_ok(reply_by_id(&replies, 1)), Some(true));
+        for id in [2u64, 3] {
+            let r = reply_by_id(&replies, id);
+            assert_eq!(reply_ok(r), Some(false));
+            let e = r.get("error").and_then(|v| v.as_str()).unwrap();
+            assert!(e.starts_with("overloaded"), "{e}");
+        }
+        let snap = server.registry().snapshot();
+        assert_eq!(snap.counter("grp_serve_shed_total"), 2);
+    }
+
+    #[test]
+    fn drain_probe_flushes_and_ends_the_session() {
+        let mut server = test_server(1);
+        // The drain arrives with a job still batched (no blank line):
+        // the ack must come after that job's reply, and the line after
+        // the drain must never be read.
+        let input = concat!(
+            r#"{"kernel":"twolf","scheme":"none","id":1}"#, "\n",
+            r#"{"drain":true,"id":42}"#, "\n",
+            r#"{"kernel":"gzip","scheme":"SRP","id":9}"#, "\n",
+        );
+        let mut out = Vec::new();
+        let end = server.session(std::io::Cursor::new(input.to_string()), &mut out);
+        assert_eq!(end, SessionEnd::Drain);
+        let replies: Vec<Json> = String::from_utf8(out.clone())
+            .unwrap()
+            .lines()
+            .map(|l| Json::parse(l).unwrap())
+            .collect();
+        assert_eq!(replies.len(), 2, "flushed job reply + drain ack, nothing after");
+        assert_eq!(replies[0].get("id").and_then(|v| v.as_u64()), Some(1));
+        let ack = &replies[1];
+        assert_eq!(ack.get("id").and_then(|v| v.as_u64()), Some(42));
+        assert_eq!(reply_ok(ack), Some(true));
+        assert_eq!(ack.get("drain").and_then(|v| v.as_bool()), Some(true));
+        // The ack'd stream validates end to end.
+        let dir = std::env::temp_dir().join(format!("grp-serve-drain-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("replies.ndjson");
+        std::fs::write(&path, &out).unwrap();
+        assert_eq!(check_replies(path.to_str().unwrap()), Ok(2));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn parse_request_handles_drain_probes() {
+        match parse_request(r#"{"drain":true,"id":7}"#, 1, SuiteScale::Test).expect("drain") {
+            Request::Drain { id } => assert_eq!(id, 7),
+            other => panic!("expected drain, got {other:?}"),
+        }
+        let (_, e) = parse_request(r#"{"drain":false}"#, 2, SuiteScale::Test).unwrap_err();
+        assert!(e.contains("'drain' must be true"), "{e}");
+        let (_, e) =
+            parse_request(r#"{"drain":true,"kernel":"gzip"}"#, 3, SuiteScale::Test).unwrap_err();
+        assert!(e.contains("unknown drain-request field 'kernel'"), "{e}");
+    }
+
+    #[test]
+    fn accept_backoff_terminal_boundary_logs_through_the_logger() {
+        let mut b = AcceptBackoff::new();
+        for i in 1..=AcceptBackoff::MAX_FAILURES {
+            assert!(b.on_failure().is_some(), "failure {i} still retries");
+        }
+        assert_eq!(b.failures(), AcceptBackoff::MAX_FAILURES);
+        assert_eq!(b.on_failure(), None, "one past MAX_FAILURES is terminal");
+        assert_eq!(b.failures(), AcceptBackoff::MAX_FAILURES + 1);
+        // The terminal line goes through the structured logger (must
+        // not panic even with an errno-less error).
+        b.log_terminal(&std::io::Error::from_raw_os_error(98));
+        b.log_terminal(&std::io::Error::new(std::io::ErrorKind::Other, "synthetic"));
     }
 
     #[test]
@@ -722,6 +1177,8 @@ mod tests {
             mode: ReplayMode { packed: true, trace_cache: None, telemetry: None },
             selfcheck: true,
             registry: Arc::new(Registry::new()),
+            request_deadline: None,
+            max_inflight: None,
         });
         let input = concat!(
             r#"{"kernel":"gzip","scheme":"SRP"}"#, "\n",
@@ -743,6 +1200,28 @@ mod tests {
         let twin = std::fs::read_to_string(format!("{}.json", path.display())).expect("json twin");
         let doc = Json::parse(&twin).expect("twin parses");
         assert!(doc.get("scraped_at_unix_micros").and_then(|v| v.as_u64()).is_some());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn counter_carryover_keeps_scrapes_monotone_across_restart() {
+        let mut server = test_server(1);
+        let _ = run_session(&mut server, "{\"kernel\":\"twolf\",\"scheme\":\"none\"}\n\n");
+        let dir = std::env::temp_dir().join(format!("grp-serve-carry-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("metrics.prom");
+        server.write_metrics(path.to_str().unwrap()).expect("export");
+        let before = server.registry().snapshot();
+        // "Restart": a fresh registry seeded from the scrape's JSON
+        // twin must never read below the dead process's last values.
+        let reg = Registry::new();
+        let n = seed_counters_from_json(&reg, &format!("{}.json", path.display())).expect("seed");
+        assert!(n > 0, "something was carried over");
+        let after = reg.snapshot();
+        for (id, v) in &before.counters {
+            assert!(after.counter(id) >= *v, "{id} went backwards after restart");
+        }
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -235,6 +235,15 @@ impl Suite {
         // (a plain `Vec::pop` here used to silently *reverse* the
         // caller's order, so the heaviest kernels could land last and
         // stretch the tail).
+        // Precompute progress lands in the process registry so `all
+        // --registry-out` (and any later scrape) sees the warm-up
+        // phase, not just the fleet counters of the cell scheduler.
+        let shard = crate::telemetry::process_shard();
+        let kernels_ok = shard.counter("grp_suite_precompute_kernels_total", &[("status", "ok")]);
+        let kernels_panicked =
+            shard.counter("grp_suite_precompute_kernels_total", &[("status", "panicked")]);
+        let retries = shard.counter("grp_suite_precompute_retries_total", &[]);
+        let cells_done = shard.counter("grp_suite_precompute_cells_total", &[]);
         let work: std::sync::Mutex<VecDeque<&'static str>> =
             std::sync::Mutex::new(sched::largest_first(names).into());
         let results: std::sync::Mutex<Vec<(&'static str, Scheme, RunResult)>> =
@@ -266,14 +275,19 @@ impl Suite {
                             .collect();
                         (built, rs)
                     };
-                    let outcome = catch_unwind(AssertUnwindSafe(&job))
-                        .or_else(|_| catch_unwind(AssertUnwindSafe(&job)));
+                    let outcome = catch_unwind(AssertUnwindSafe(&job)).or_else(|_| {
+                        retries.inc();
+                        catch_unwind(AssertUnwindSafe(&job))
+                    });
                     match outcome {
                         Ok((built, rs)) => {
+                            kernels_ok.inc();
+                            cells_done.add(rs.len() as u64);
                             results.lock().expect("results").extend(rs);
                             builts.lock().expect("builts").push((name, built));
                         }
                         Err(payload) => {
+                            kernels_panicked.inc();
                             failures
                                 .lock()
                                 .expect("failures")

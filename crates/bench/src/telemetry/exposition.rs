@@ -120,6 +120,27 @@ pub fn snapshot_json(snap: &Snapshot, scraped_at_unix_micros: Option<u64>) -> Js
     doc.set("counters", counters).set("gauges", gauges).set("histograms", hists)
 }
 
+/// Scrapes `registry` and writes the deterministic text exposition to
+/// `path` plus the JSON twin (whose `scraped_at_unix_micros` field is
+/// the only wall-clock value) to `<path>.json`, both through the
+/// atomic staging layer — the one export shape shared by `serve
+/// --metrics-out` and `all --registry-out`.
+///
+/// # Errors
+///
+/// Any staged-write I/O error; export is best-effort for most
+/// callers, which warn and continue.
+pub fn write_registry(registry: &super::registry::Registry, path: &str) -> std::io::Result<()> {
+    let snap = registry.snapshot();
+    crate::artifact::atomic_write(path, render_text(&snap))?;
+    let scraped_at = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_micros() as u64)
+        .unwrap_or(0);
+    let doc = snapshot_json(&snap, Some(scraped_at));
+    crate::artifact::atomic_write(format!("{path}.json"), doc.render())
+}
+
 /// A re-parsed exposition: what the validator extracts from the text.
 #[derive(Debug, Clone, Default)]
 pub struct ParsedExposition {

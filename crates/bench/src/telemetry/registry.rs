@@ -143,6 +143,21 @@ impl Shard {
         Counter(self.counters.lock().expect("counter map").entry(id).or_default().clone())
     }
 
+    /// The counter handle for an already-canonical id (as produced by
+    /// [`metric_id`] and carried in snapshots/expositions). Restart
+    /// carryover uses this to re-seed counters from a previous scrape
+    /// without re-deriving name/label pairs.
+    pub fn counter_id(&self, id: &str) -> Counter {
+        Counter(
+            self.counters
+                .lock()
+                .expect("counter map")
+                .entry(id.to_string())
+                .or_default()
+                .clone(),
+        )
+    }
+
     /// The gauge handle for `name` + `labels` in this shard.
     pub fn gauge(&self, name: &str, labels: &[(&str, &str)]) -> Gauge {
         let id = metric_id(name, labels);

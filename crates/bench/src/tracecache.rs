@@ -112,12 +112,28 @@ impl std::error::Error for ProbeError {}
 #[derive(Debug, Clone)]
 pub struct TraceCache {
     dir: PathBuf,
+    /// Explicit I/O fault state for resilience tests; `None` (the
+    /// default) falls back to the process-global `GRP_IOFAULT` arming.
+    faults: Option<std::sync::Arc<crate::iofault::IoFaultState>>,
 }
 
 impl TraceCache {
     /// A cache rooted at `dir` (created lazily on first store).
     pub fn new(dir: impl Into<PathBuf>) -> Self {
-        Self { dir: dir.into() }
+        Self { dir: dir.into(), faults: None }
+    }
+
+    /// Arms this cache instance with an explicit I/O fault state
+    /// (tests; production uses the `GRP_IOFAULT` global).
+    pub fn with_faults(mut self, faults: std::sync::Arc<crate::iofault::IoFaultState>) -> Self {
+        self.faults = Some(faults);
+        self
+    }
+
+    fn fault_state(&self) -> Option<&crate::iofault::IoFaultState> {
+        self.faults
+            .as_deref()
+            .or_else(|| crate::iofault::global().map(|a| a.as_ref()))
     }
 
     /// The cache directory.
@@ -190,7 +206,7 @@ impl TraceCache {
         cc: Option<&AnalysisConfig>,
     ) -> Result<(PackedTrace, Memory, HeapRange), ProbeError> {
         let path = self.entry_path(kernel, scale, cc);
-        let bytes = std::fs::read(&path).map_err(|e| {
+        let bytes = crate::iofault::read(self.fault_state(), &path).map_err(|e| {
             let reason = if e.kind() == io::ErrorKind::NotFound {
                 MissReason::Absent
             } else {
@@ -221,7 +237,63 @@ impl TraceCache {
         heap: HeapRange,
     ) -> io::Result<()> {
         let path = self.entry_path(kernel, scale, cc);
-        crate::artifact::atomic_write(path, encode_entry(trace, mem, heap))
+        crate::artifact::atomic_write_with(self.fault_state(), path, encode_entry(trace, mem, heap))
+    }
+
+    /// Crash-recovery scan over the cache directory: sweeps orphaned
+    /// atomic-write staging files via [`crate::artifact::recover_dir`],
+    /// then validates every `*.grpt` entry and **quarantines** (renames
+    /// to `<name>.quarantine` — never silently deletes) each one that
+    /// fails [`decode_entry`]. A quarantined key reads as an absent
+    /// miss and rebuilds; the torn bytes stay on disk for inspection.
+    /// Each quarantine lands a `grp_tracecache_quarantined_total`
+    /// counter and a warn log.
+    ///
+    /// Returns `(recovery report, quarantined entry count)`.
+    ///
+    /// # Errors
+    ///
+    /// Only a failure to list the directory; a missing cache directory
+    /// is an empty scan.
+    pub fn recover(
+        &self,
+        max_age: std::time::Duration,
+    ) -> io::Result<(crate::artifact::RecoveryReport, usize)> {
+        let report = crate::artifact::recover_dir(&self.dir, max_age)?;
+        let mut quarantined = 0usize;
+        let entries = match std::fs::read_dir(&self.dir) {
+            Ok(rd) => rd,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok((report, 0)),
+            Err(e) => return Err(e),
+        };
+        for entry in entries.filter_map(|e| e.ok()) {
+            let path = entry.path();
+            if path.extension().is_none_or(|x| x != "grpt") {
+                continue;
+            }
+            let verdict = std::fs::read(&path).map_err(|e| e.to_string()).and_then(|bytes| {
+                decode_entry(&bytes).map(|_| ()).map_err(|e| e.detail)
+            });
+            let Err(detail) = verdict else { continue };
+            let mut dst = path.as_os_str().to_owned();
+            dst.push(".quarantine");
+            if std::fs::rename(&path, PathBuf::from(&dst)).is_ok() {
+                quarantined += 1;
+                crate::telemetry::process_shard()
+                    .counter("grp_tracecache_quarantined_total", &[])
+                    .inc();
+                crate::telemetry::log::log_kv(
+                    crate::telemetry::log::Level::Warn,
+                    "tracecache",
+                    "quarantined invalid cache entry",
+                    &[
+                        ("path", path.display().to_string().as_str().into()),
+                        ("detail", detail.as_str().into()),
+                    ],
+                );
+            }
+        }
+        Ok((report, quarantined))
     }
 }
 
@@ -510,6 +582,79 @@ mod tests {
         // Overwriting with a fresh store recovers.
         cache.store("twolf", Scale::Test, None, &pt, &mem, heap).expect("re-store");
         assert!(cache.load("twolf", Scale::Test, None).is_some());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn injected_read_fault_is_a_named_io_miss() {
+        use crate::iofault::{IoFaultEvent, IoFaultKind, IoFaultPlan, IoFaultState};
+        let dir = scratch("readfault");
+        let (pt, mem, heap) = sample();
+        let faults = std::sync::Arc::new(IoFaultState::new(&IoFaultPlan::new(vec![
+            IoFaultEvent { op: 0, kind: IoFaultKind::ReadError },
+        ])));
+        let cache = TraceCache::new(&dir).with_faults(faults.clone());
+        cache.store("twolf", Scale::Test, None, &pt, &mem, heap).expect("store");
+        let err = cache.probe("twolf", Scale::Test, None).unwrap_err();
+        assert_eq!(err.reason, MissReason::Io, "injected EIO is a named miss");
+        assert!(err.detail.contains("injected read fault"), "{err}");
+        assert_eq!(faults.injected(), 1);
+        // The next read (fault spent) hits: the entry itself is fine.
+        assert!(cache.load("twolf", Scale::Test, None).is_some());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn injected_store_fault_never_tears_an_entry() {
+        use crate::iofault::{IoFaultEvent, IoFaultKind, IoFaultPlan, IoFaultState};
+        let dir = scratch("storefault");
+        let (pt, mem, heap) = sample();
+        for kind in [IoFaultKind::ShortWrite, IoFaultKind::RenameFail, IoFaultKind::FsyncFail] {
+            let faults = std::sync::Arc::new(IoFaultState::new(&IoFaultPlan::new(vec![
+                IoFaultEvent { op: 0, kind },
+            ])));
+            let cache = TraceCache::new(&dir).with_faults(faults);
+            cache
+                .store("twolf", Scale::Test, None, &pt, &mem, heap)
+                .expect_err("armed store fails");
+            // Either no entry landed, or (never) a torn one: a plain
+            // probe must not see a corrupt entry.
+            let err = cache.probe("twolf", Scale::Test, None).unwrap_err();
+            assert_eq!(err.reason, MissReason::Absent, "{kind:?}: no torn entry published");
+            // Retry (fault spent) lands a fully valid entry.
+            cache.store("twolf", Scale::Test, None, &pt, &mem, heap).expect("retry");
+            assert!(cache.load("twolf", Scale::Test, None).is_some());
+            let _ = std::fs::remove_dir_all(&dir);
+        }
+    }
+
+    #[test]
+    fn recover_quarantines_invalid_entries_and_sweeps_orphans() {
+        let dir = scratch("recover");
+        let cache = TraceCache::new(&dir);
+        let (pt, mem, heap) = sample();
+        cache.store("twolf", Scale::Test, None, &pt, &mem, heap).expect("store");
+        let good = cache.entry_path("twolf", Scale::Test, None);
+        // A torn sibling entry (half the valid bytes) and a dead-owner
+        // staging orphan.
+        let torn = dir.join("mcf-test-0000000000000000.grpt");
+        let bytes = std::fs::read(&good).unwrap();
+        std::fs::write(&torn, &bytes[..bytes.len() / 2]).unwrap();
+        let orphan = dir.join("x.grpt.4999999.3.tmp");
+        std::fs::write(&orphan, "partial").unwrap();
+        let (report, quarantined) =
+            cache.recover(std::time::Duration::ZERO).expect("recover scan");
+        assert_eq!(quarantined, 1, "torn entry quarantined");
+        assert_eq!(report.swept_tmp, 1, "staging orphan swept");
+        assert!(!torn.exists(), "torn entry renamed away");
+        let mut q = torn.into_os_string();
+        q.push(".quarantine");
+        assert!(PathBuf::from(q).exists(), "quarantine preserves the bytes");
+        assert!(good.exists(), "valid entry untouched");
+        assert!(cache.load("twolf", Scale::Test, None).is_some());
+        // Idempotent: a second scan finds nothing.
+        let (report2, q2) = cache.recover(std::time::Duration::ZERO).expect("rescan");
+        assert_eq!((report2.swept_tmp, q2), (0, 0));
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -34,7 +34,21 @@ use crate::sched::FleetStats;
 /// Non-`NotFound` I/O errors, malformed JSON, or a document without an
 /// `entries` array — all naming `path`.
 pub fn load_entries(path: &str) -> Result<Vec<Json>, String> {
-    let text = match std::fs::read_to_string(path) {
+    load_entries_with(crate::iofault::global().map(|a| a.as_ref()), path)
+}
+
+/// [`load_entries`] with an explicit I/O fault state (tests). An
+/// injected read `EIO` is indistinguishable from a real one: it must
+/// surface as "refusing to reset", never as a fresh trajectory.
+///
+/// # Errors
+///
+/// As [`load_entries`], plus any injected read fault.
+pub fn load_entries_with(
+    faults: Option<&crate::iofault::IoFaultState>,
+    path: &str,
+) -> Result<Vec<Json>, String> {
+    let text = match crate::iofault::read_to_string(faults, std::path::Path::new(path)) {
         Ok(t) => t,
         Err(e) if e.kind() == ErrorKind::NotFound => return Ok(Vec::new()),
         Err(e) => {
@@ -60,11 +74,26 @@ pub fn load_entries(path: &str) -> Result<Vec<Json>, String> {
 /// Lock acquisition timeout, any [`load_entries`] failure, or the
 /// final write failing.
 pub fn append_entry(path: &str, entry: Json) -> Result<(), String> {
+    append_entry_with(crate::iofault::global().map(|a| a.as_ref()), path, entry)
+}
+
+/// [`append_entry`] with an explicit I/O fault state (tests). A fault
+/// anywhere in the read-modify-write leaves the previous trajectory
+/// intact — the entry is reported lost, never the history.
+///
+/// # Errors
+///
+/// As [`append_entry`], plus any injected fault.
+pub fn append_entry_with(
+    faults: Option<&crate::iofault::IoFaultState>,
+    path: &str,
+    entry: Json,
+) -> Result<(), String> {
     let _lock = LockFile::acquire(path, Duration::from_secs(10))?;
-    let mut entries = load_entries(path)?;
+    let mut entries = load_entries_with(faults, path)?;
     entries.push(entry);
     let doc = Json::object().set("version", 1u64).set("entries", Json::Array(entries));
-    crate::artifact::atomic_write(path, doc.render())
+    crate::artifact::atomic_write_with(faults, path, doc.render())
         .map_err(|e| format!("cannot write {path}: {e}"))
 }
 
@@ -403,6 +432,51 @@ mod tests {
             2 * PER_THREAD,
             "every concurrent append must survive"
         );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn injected_faults_never_reset_or_tear_the_trajectory() {
+        use crate::iofault::{IoFaultEvent, IoFaultKind, IoFaultPlan, IoFaultState};
+        let dir = scratch("iofault");
+        let path = dir.join("t.json");
+        let p = path.to_str().unwrap();
+        append_entry(p, entry("a")).expect("seed the history");
+
+        // Read EIO: refuses to reset, never "fresh".
+        let st = IoFaultState::new(&IoFaultPlan::new(vec![IoFaultEvent {
+            op: 0,
+            kind: IoFaultKind::ReadError,
+        }]));
+        let err = load_entries_with(Some(&st), p).unwrap_err();
+        assert!(err.contains("refusing to reset"), "{err}");
+
+        // Every write-side fault: append errors, history intact.
+        for kind in [
+            IoFaultKind::ShortWrite,
+            IoFaultKind::WriteNoSpace,
+            IoFaultKind::FsyncFail,
+            IoFaultKind::RenameFail,
+        ] {
+            let st = IoFaultState::new(&IoFaultPlan::new(vec![IoFaultEvent {
+                // op 0 is the load's read (unarmed for writes); the
+                // write-class counters are independent, so op 0 is
+                // this append's staged write.
+                op: 0,
+                kind,
+            }]));
+            let err = append_entry_with(Some(&st), p, entry("lost")).unwrap_err();
+            assert!(err.contains("cannot write"), "{kind:?}: {err}");
+            let entries = load_entries(p).expect("history readable");
+            assert_eq!(entries.len(), 1, "{kind:?}: history intact, entry reported lost");
+            assert!(
+                !path.with_extension("json.lock").exists(),
+                "{kind:?}: lock released on the error path"
+            );
+        }
+        // A clean retry still appends.
+        append_entry(p, entry("b")).expect("retry");
+        assert_eq!(load_entries(p).unwrap().len(), 2);
         let _ = std::fs::remove_dir_all(&dir);
     }
 

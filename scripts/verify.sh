@@ -31,18 +31,26 @@ for ex in quickstart pointer_chasing indirect_arrays matrix_stencil traffic_stud
     cargo run --release -q --offline --example "$ex" -- --scale test > /dev/null
 done
 
-echo "== bench smoke: full suite at test scale (offline) =="
-cargo run --release -q --offline -p grp-bench --bin all -- --scale test > /dev/null
-
-echo "== perf smoke: harness at test scale (offline) =="
-# Write the smoke trajectory to a scratch file so CI runs never touch
-# the committed BENCH_perf.json history.
+# Scratch space for every smoke below, so CI runs never touch the
+# committed BENCH_perf.json history.
 PERF_TMP="$(mktemp)"
 TRACE_TMP="$(mktemp -d)"
 trap 'rm -f "$PERF_TMP"; rm -rf "$TRACE_TMP"' EXIT
 # The harness expects either a valid trajectory or no file at all, so
 # drop mktemp's empty placeholder and let the run create it.
 rm -f "$PERF_TMP"
+
+echo "== bench smoke: full suite at test scale + registry export (offline) =="
+# --registry-out scrapes the process-global harness registry at exit;
+# the exposition must re-validate and carry the fleet families the
+# precompute phase recorded through the cell scheduler.
+cargo run --release -q --offline -p grp-bench --bin all -- --scale test \
+    --registry-out "$TRACE_TMP/all_registry.prom" > /dev/null
+cargo run --release -q --offline -p grp-bench --bin check -- \
+    --metrics "$TRACE_TMP/all_registry.prom" \
+    --metrics-require grp_fleet_cells_total,grp_fleet_runs_total
+
+echo "== perf smoke: harness at test scale (offline) =="
 cargo run --release -q --offline -p grp-bench --bin perf -- \
     --scale test --label verify-smoke --out "$PERF_TMP"
 cargo run --release -q --offline -p grp-bench --bin perf -- --check "$PERF_TMP"
@@ -185,6 +193,27 @@ if cargo run --release -q --offline -p grp-bench --bin check -- \
     exit 1
 fi
 echo "  -- undeclared sample: rejected"
+
+echo "== chaos gate: seeded I/O-fault storm + kill -9 restart (DESIGN.md §15) =="
+# Drives the real serve binary as a subprocess: per-round GRP_IOFAULT
+# seeds over a shared trace cache, a client vanishing mid-batch, an
+# in-band drain, then kill -9 mid-cache-write with a widened publish
+# window. The restart must show bit-identical replies, whole
+# artifacts, counters monotone across the kill, and zero staging
+# litter anywhere in the tree.
+cargo run --release -q --offline -p grp-bench --bin check -- \
+    --chaos --chaos-rounds 1 --chaos-dir "$TRACE_TMP/chaos"
+
+echo "== chaos gate has teeth: torn renames must fail it =="
+# --inject torn-rename publishes half of every staged payload on
+# purpose; a gate that cannot catch that is a tautology.
+if cargo run --release -q --offline -p grp-bench --bin check -- \
+    --chaos --chaos-rounds 1 --inject torn-rename \
+    --chaos-dir "$TRACE_TMP/chaos-teeth" > /dev/null 2>&1; then
+    echo "ERROR: check --chaos accepted torn artifacts" >&2
+    exit 1
+fi
+echo "  -- torn-rename: caught"
 
 echo "== profile smoke: perf --profile phases cover the wall clock =="
 # The binary itself enforces >= 95% serial coverage (nonzero exit
